@@ -1,0 +1,98 @@
+"""Figure 5: miss-rate decomposition vs block size (4..1024 bytes) for the
+
+four benchmarks at the small data-set sizes.
+
+Shape assertions encode the paper's section 6 narrative per benchmark:
+
+LU      CTS dominates at small blocks and converts to PTS as blocks grow
+        past the column size; false sharing explodes once blocks span
+        columns of different owners.
+MP3D    PTS drops sharply up to 32 B (collisions touch 20 B); PFS appears
+        at 8 B (36-B interleaved particles) and keeps growing (48-B cells).
+WATER   PTS falls rapidly until ~128 B (72-B force field); PFS grows as
+        blocks approach the 680-B molecule record.
+JACOBI  True sharing halves from B=4 to B=8 (8-B elements); PFS appears at
+        8 B (ANL barrier words) and jumps at 256 B (128-B subgrid rows).
+"""
+
+import pytest
+
+from repro.analysis.figures import figure5
+from repro.analysis.invariants import check_block_size_monotonicity
+from repro.mem import PAPER_BLOCK_SIZES
+
+
+@pytest.fixture(scope="module")
+def panels(small_suite):
+    return figure5(small_suite, PAPER_BLOCK_SIZES)
+
+
+def _sweep(panels, name):
+    return panels[name].sweep
+
+
+def test_fig5_render_and_monotonicity(benchmark, small_suite):
+    panels = benchmark.pedantic(
+        lambda: figure5(small_suite, PAPER_BLOCK_SIZES),
+        rounds=1, iterations=1)
+    print()
+    for name, panel in panels.items():
+        print(panel.format())
+        print()
+        assert check_block_size_monotonicity(panel.sweep) == [], name
+        benchmark.extra_info[name] = {
+            bb: bd.as_dict() for bb, bd in zip(panel.sweep.block_sizes,
+                                               panel.sweep.breakdowns)}
+
+
+def test_fig5_lu_shape(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sw = _sweep(panels, "LU32")
+    # CTS -> PTS conversion as blocks grow.
+    assert sw.at(8).cts > sw.at(256).cts
+    assert sw.at(256).pts > sw.at(8).pts
+    # False sharing explodes when blocks span column boundaries
+    # (columns are 32*8 = 256 bytes in our layout).
+    assert sw.at(256).pfs < 0.05 * sw.at(512).pfs
+    assert sw.at(512).pfs > 10_000
+
+
+def test_fig5_mp3d_shape(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sw = _sweep(panels, "MP3D200")
+    # "the true sharing miss rate component decreases dramatically up to
+    # 32 bytes"
+    pts4, pts32 = sw.at(4).pts + sw.at(4).cts, sw.at(32).pts + sw.at(32).cts
+    assert pts32 < 0.75 * pts4
+    # "False sharing starts to appear for a block size of eight bytes"
+    assert sw.at(4).pfs == 0
+    assert sw.at(8).pfs > 0
+    # "Additional false sharing ... for blocks larger than 16 bytes"
+    assert sw.at(64).pfs > sw.at(16).pfs
+
+
+def test_fig5_water_shape(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sw = _sweep(panels, "WATER16")
+    # "decreases rapidly up until a block size of 128 bytes"
+    assert sw.at(128).pts < 0.25 * sw.at(8).pts
+    # "false sharing rate starts to grow significantly when the block size
+    # approaches the size of the molecule data structure (680 bytes)"
+    assert sw.at(1024).pfs > 3 * sw.at(256).pfs
+
+
+def test_fig5_jacobi_shape(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sw = _sweep(panels, "JACOBI64")
+    # "true sharing to go down abruptly to half as we move from a block
+    # size of 4 to 8 bytes"
+    ts4 = sw.at(4).pts + sw.at(4).cts
+    ts8 = sw.at(8).pts + sw.at(8).cts
+    assert 0.4 <= ts8 / ts4 <= 0.65
+    # "False sharing starts to appear for a block size of 8 bytes because
+    # of the ... barriers" (counter and flag in consecutive words)
+    assert sw.at(4).pfs == 0
+    assert sw.at(8).pfs > 0
+    # "false sharing abruptly goes up for a block size of 256 bytes"
+    # (subgrid row = 16 elements = 128 bytes)
+    assert sw.at(256).pfs > 20 * sw.at(128).pfs

@@ -1,0 +1,55 @@
+"""Finite caches (paper section 8.0, future work).
+
+"We expect that the fraction of essential misses will increase in systems
+with finite caches.  This effect will depend on the cache size."
+
+We sweep the per-processor cache capacity for OTF with LRU replacement and
+report the replacement-miss component and the essential fraction of the
+total miss rate.
+"""
+
+from repro.mem import BlockMap
+from repro.protocols import FiniteOTFProtocol, run_protocol
+
+
+def _finite(trace, block_bytes, capacity):
+    return FiniteOTFProtocol(trace.num_procs, BlockMap(block_bytes),
+                             capacity).run(trace)
+
+
+def test_essential_fraction_grows_with_smaller_caches(benchmark, mp3d200):
+    capacities = (8, 32, 128, 100_000)
+
+    def run():
+        return {cap: _finite(mp3d200, 64, cap) for cap in capacities}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(f"{'capacity':>9s} {'misses':>8s} {'repl':>7s} {'PFS':>7s} "
+          f"{'essential%':>11s}")
+    fractions = []
+    for cap, r in results.items():
+        essential = r.breakdown.essential + r.replacement_misses
+        frac = essential / r.misses
+        fractions.append(frac)
+        print(f"{cap:>9d} {r.misses:>8d} {r.replacement_misses:>7d} "
+              f"{r.breakdown.pfs:>7d} {100 * frac:>10.1f}%")
+
+    # Smaller caches -> more (essential) replacement misses -> higher
+    # essential fraction, monotonically along the sweep.
+    assert fractions[0] >= fractions[1] >= fractions[2] >= fractions[3]
+    assert results[8].replacement_misses > results[128].replacement_misses
+    benchmark.extra_info["fractions"] = dict(
+        zip(map(str, capacities), fractions))
+
+
+def test_infinite_capacity_recovers_otf(benchmark, jacobi64):
+    """With capacity above the working set the finite simulator is exactly
+    OTF — the baseline correspondence."""
+    finite = benchmark.pedantic(
+        lambda: _finite(jacobi64, 64, 1_000_000), rounds=1, iterations=1)
+    otf = run_protocol("OTF", jacobi64, 64)
+    assert finite.misses == otf.misses
+    assert finite.replacement_misses == 0
+    assert finite.breakdown.as_dict() == otf.breakdown.as_dict()

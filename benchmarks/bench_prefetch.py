@@ -1,0 +1,48 @@
+"""Section 2.0's prefetching claims, quantified.
+
+"PC misses can be eliminated by preloading blocks in the cache.  CFS
+misses can be eliminated by preloading ... if we also have a technique to
+detect and eliminate false sharing misses.  CTS misses cannot be
+eliminated."
+
+For each benchmark we compute the three miss-rate floors (essential,
++preload, +preload+word-invalidation) across block sizes and check the
+structural claims.
+"""
+
+from repro.analysis.prefetch import prefetch_analysis
+
+
+def test_prefetch_floors(benchmark, small_suite):
+    analyses = benchmark.pedantic(
+        lambda: [prefetch_analysis(t, (8, 64, 512)) for t in small_suite],
+        rounds=1, iterations=1)
+
+    print()
+    for analysis in analyses:
+        print(analysis.format())
+        print()
+        for floors in analysis.floors.values():
+            # Floors are ordered and the last one is exactly CTS+PTS.
+            assert floors.baseline >= floors.with_preload \
+                >= floors.with_preload_and_wi
+            assert floors.with_preload_and_wi == floors.irreducible
+            # CTS cannot be eliminated: whenever the benchmark
+            # communicates, the final floor is nonzero.
+            bd = floors.breakdown
+            if bd.cts + bd.pts:
+                assert floors.irreducible > 0
+        benchmark.extra_info[analysis.trace_name] = {
+            bb: f.as_row()[1:] for bb, f in analysis.floors.items()}
+
+
+def test_preload_gain_shrinks_with_block_size(benchmark, jacobi64):
+    """Bigger blocks amortize cold misses on their own, so the preload
+    win (PC elimination) shrinks as blocks grow."""
+    analysis = benchmark.pedantic(
+        lambda: prefetch_analysis(jacobi64, (8, 64, 512)),
+        rounds=1, iterations=1)
+    gains = {bb: f.baseline - f.with_preload
+             for bb, f in analysis.floors.items()}
+    print(f"\npreload gain (percentage points): {gains}")
+    assert gains[8] > gains[64] > gains[512]

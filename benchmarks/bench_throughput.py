@@ -1,0 +1,48 @@
+"""Performance benchmarks: events/second of the classifiers and protocol
+
+simulators on a real benchmark trace.  These guard against performance
+regressions in the hot loops (the library's usefulness depends on keeping
+multi-million-event traces tractable)."""
+
+import pytest
+
+from repro.classify import (
+    DuboisClassifier,
+    EggersClassifier,
+    TorrellasClassifier,
+)
+from repro.mem import BlockMap
+from repro.protocols import run_protocol
+
+
+@pytest.mark.parametrize("classifier", [DuboisClassifier, EggersClassifier,
+                                        TorrellasClassifier])
+def test_classifier_throughput(benchmark, mp3d200, classifier):
+    bm = BlockMap(64)
+    result = benchmark.pedantic(
+        lambda: classifier.classify_trace(mp3d200, bm),
+        rounds=3, iterations=1)
+    assert result.total > 0
+    benchmark.extra_info["events"] = len(mp3d200)
+    benchmark.extra_info["events_per_sec"] = int(
+        len(mp3d200) / benchmark.stats.stats.mean)
+
+
+@pytest.mark.parametrize("protocol", ["MIN", "OTF", "RD", "SD", "SRD",
+                                      "WBWI", "MAX"])
+def test_protocol_throughput(benchmark, mp3d200, protocol):
+    result = benchmark.pedantic(
+        lambda: run_protocol(protocol, mp3d200, 64),
+        rounds=3, iterations=1)
+    assert result.misses > 0
+    benchmark.extra_info["events"] = len(mp3d200)
+    benchmark.extra_info["events_per_sec"] = int(
+        len(mp3d200) / benchmark.stats.stats.mean)
+
+
+def test_workload_generation_throughput(benchmark):
+    from repro.workloads import make_workload
+    trace = benchmark.pedantic(
+        lambda: make_workload("MP3D200").generate(), rounds=1, iterations=1)
+    assert len(trace) > 10_000
+    benchmark.extra_info["events"] = len(trace)

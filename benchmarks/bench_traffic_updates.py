@@ -1,0 +1,73 @@
+"""Extension bench: traffic vs miss rate, and update protocols (paper §8).
+
+The conclusion's two quantitative remarks:
+
+* "The protocols with reduced miss rates also have reduced miss traffic.
+  However, the traffic is very high for large block sizes."
+* "At this level of traffic, delayed write-broadcast or delayed protocols
+  with competitive updates, which can reduce the number of essential
+  misses, may become attractive."
+
+We measure both: per-reference traffic of the paper's protocols at 64 and
+1024 bytes, and the miss/traffic trade of the WU/CU extensions.
+"""
+
+from repro.protocols import run_protocols
+from repro.protocols.traffic import estimate_traffic
+
+
+def test_traffic_by_protocol_and_block_size(benchmark, jacobi64):
+    def run():
+        out = {}
+        for bb in (64, 1024):
+            out[bb] = run_protocols(jacobi64, bb,
+                                    ["MIN", "OTF", "RD", "SRD", "WBWI"])
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(f"{'B':>5s} {'proto':6s} {'miss%':>7s} {'bytes/ref':>10s}")
+    per_ref = {}
+    for bb, res in results.items():
+        for name, r in res.items():
+            t = estimate_traffic(r)
+            per_ref[(bb, name)] = t.per_reference(r.breakdown.data_refs)
+            print(f"{bb:>5d} {name:6s} {r.miss_rate:7.2f} "
+                  f"{per_ref[(bb, name)]:10.1f}")
+
+    # Reduced miss rates -> reduced fetch traffic, per block size.
+    for bb, res in results.items():
+        fetch = {n: estimate_traffic(r).fetch_bytes for n, r in res.items()}
+        assert fetch["SRD"] <= fetch["OTF"], bb
+        assert fetch["MIN"] <= fetch["SRD"], bb
+    # "the traffic is very high for large block sizes": every protocol
+    # moves far more bytes per reference at 1024 than at 64.
+    for name in ("MIN", "OTF", "RD", "SRD", "WBWI"):
+        assert per_ref[(1024, name)] > 3 * per_ref[(64, name)], name
+    benchmark.extra_info["bytes_per_ref"] = {
+        f"{bb}/{n}": v for (bb, n), v in per_ref.items()}
+
+
+def test_update_protocols_cut_essential_misses(benchmark, water16):
+    res = benchmark.pedantic(
+        lambda: run_protocols(water16, 64, ["MIN", "OTF", "WU", "CU"]),
+        rounds=1, iterations=1)
+    print()
+    for name, r in res.items():
+        t = estimate_traffic(r)
+        print(f"{name:4s} miss%={r.miss_rate:6.2f} "
+              f"word-traffic={t.word_write_bytes:>9d}B "
+              f"fetch-traffic={t.fetch_bytes:>9d}B")
+
+    # Updates communicate without re-fetching: below the invalidation
+    # minimum (MIN), at the price of word-update traffic.
+    assert res["WU"].misses < res["MIN"].misses
+    assert res["WU"].breakdown.pts == 0
+    assert estimate_traffic(res["WU"]).word_write_bytes > 0
+    # The competitive rule sits between WU and OTF in misses and spends
+    # less on updates than WU.
+    assert res["WU"].misses <= res["CU"].misses <= res["OTF"].misses
+    assert estimate_traffic(res["CU"]).word_write_bytes \
+        <= estimate_traffic(res["WU"]).word_write_bytes
+    benchmark.extra_info["misses"] = {n: r.misses for n, r in res.items()}

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Sweep the cache block size and watch the miss classes move.
+
+Regenerates one panel of the paper's Figure 5 for a chosen benchmark:
+the five-way decomposition (PC/CTS/CFS/PTS/PFS) at block sizes 4..1024
+bytes, with the block-size monotonicity law checked along the way.
+
+Run:  python examples/block_size_sweep.py [WORKLOAD]
+e.g.  python examples/block_size_sweep.py MP3D200
+"""
+
+import sys
+
+from repro.analysis import check_block_size_monotonicity, sweep_block_sizes
+from repro.analysis.report import format_bars
+from repro.workloads import make_workload
+
+
+def main(workload_name="MP3D200"):
+    print(f"Generating {workload_name}...")
+    trace = make_workload(workload_name).generate()
+
+    sweep = sweep_block_sizes(trace)
+    print()
+    print(sweep.format())
+
+    print()
+    print("Essential vs total miss rate by block size:")
+    top = max(sweep.total_series())
+    for bb, bd in zip(sweep.block_sizes, sweep.breakdowns):
+        print(format_bars({f"B={bb:<5d} total": bd.miss_rate,
+                           f"B={bb:<5d} ess. ": bd.essential_rate},
+                          width=40, max_value=top))
+
+    violations = check_block_size_monotonicity(sweep)
+    print()
+    if violations:
+        print("MONOTONICITY VIOLATIONS (this should never happen):")
+        for v in violations:
+            print(" ", v)
+    else:
+        print("Verified (paper section 2.1): essential misses, cold misses "
+              "and CTS+PTS never increase with the block size.")
+        print("Anything the total gains at large blocks is pure false "
+              "sharing — useless misses a smarter protocol can eliminate.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "MP3D200")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Why the classification scheme matters (paper sections 3 and 7).
+
+Runs all three classifications — ours, Eggers', Torrellas' — over two
+workloads chosen to expose the prior schemes' failure modes:
+
+* LU: Eggers' scheme understates the essential miss rate, which would
+  mislead an architect into chasing improvements that don't exist (the
+  paper's LU32 example: Eggers says 1.68% essential, truth is 2.14%,
+  and WBWI already achieves 2.37%).
+* MATMUL: a non-iterative algorithm — words are touched essentially once —
+  where Torrellas' word-granular cold rule files nearly everything under
+  "cold" and the true/false sharing split collapses.
+
+Run:  python examples/classification_showdown.py
+"""
+
+from repro import compare_classifications
+from repro.protocols import run_protocol
+from repro.workloads import make_workload
+
+BLOCK_BYTES = 64
+
+
+def show(name, trace):
+    c = compare_classifications(trace, BLOCK_BYTES)
+    print(f"{name} @ {BLOCK_BYTES}-byte blocks "
+          f"({c.ours.data_refs} references, {c.ours.total} misses):")
+    print(f"  {'scheme':<10s} {'cold':>7s} {'true':>7s} {'false':>7s} "
+          f"{'essential%':>11s}")
+    print(f"  {'ours':<10s} {c.ours.cold:>7d} {c.ours.pts:>7d} "
+          f"{c.ours.pfs:>7d} {c.ours.essential_rate:>10.2f}%")
+    print(f"  {'Eggers':<10s} {c.eggers.cold:>7d} "
+          f"{c.eggers.true_sharing:>7d} {c.eggers.false_sharing:>7d} "
+          f"{c.eggers.rate(c.eggers.essential_estimate):>10.2f}%")
+    print(f"  {'Torrellas':<10s} {c.torrellas.cold:>7d} "
+          f"{c.torrellas.true_sharing:>7d} {c.torrellas.false_sharing:>7d} "
+          f"{c.torrellas.rate(c.torrellas.essential_estimate):>10.2f}%")
+    return c
+
+
+def main():
+    print("Generating workloads...\n")
+    lu = make_workload("LU32").generate()
+    matmul = make_workload("MATMUL24").generate()
+
+    c = show("LU32", lu)
+    wbwi = run_protocol("WBWI", lu, BLOCK_BYTES)
+    print(f"\n  WBWI's actual miss rate: {wbwi.miss_rate:.2f}%")
+    print(f"  Against OUR essential rate ({c.ours.essential_rate:.2f}%) "
+          f"WBWI is nearly optimal;")
+    print(f"  against Eggers' estimate "
+          f"({c.eggers.rate(c.eggers.essential_estimate):.2f}%) it would "
+          f"look like there is room left to optimize — the paper's "
+          f"section 7 warning.\n")
+
+    c2 = show("MATMUL24 (non-iterative)", matmul)
+    frac = c2.torrellas.cold / max(1, c2.torrellas.total)
+    print(f"\n  Torrellas files {100 * frac:.0f}% of all misses as cold — "
+          f"its sharing split is vacuous on single-touch algorithms "
+          f"(the paper's section 3.1 criticism).")
+
+
+if __name__ == "__main__":
+    main()

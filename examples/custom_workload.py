@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Write your own parallel workload and analyze it.
+
+Shows the full substrate: allocate data structures with the paper's layout
+tools, synchronize with ANL-style locks/barriers, run on the simulated
+multiprocessor, prove the trace race-free, then classify and simulate
+protocols on it.
+
+The example program is a work-queue: a shared queue of task records that
+workers claim under a lock and then update in place.  The task records are
+deliberately NOT padded — the analysis finds the resulting false sharing.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import classify_trace, run_protocols
+from repro.execution import Barrier, Lock, Machine, ops
+from repro.mem import Allocator, StructLayout
+from repro.trace.validate import assert_race_free
+
+NUM_PROCS = 8
+NUM_TASKS = 64
+BLOCK_BYTES = 64
+
+# A 20-byte task record: not a multiple of the 64-byte block size, so
+# consecutive tasks share blocks (like MP3D's 36-byte particles).
+TASK = StructLayout("task", [
+    ("state", 4),     # claimed / done
+    ("input", 8),
+    ("result", 8),
+])
+
+
+def build_program():
+    alloc = Allocator()
+    queue_lock = Lock("queue.lock", alloc)
+    next_task = alloc.alloc_words("queue.next", 1)
+    tasks = alloc.alloc_array("task", NUM_TASKS, TASK.nbytes)
+    done_barrier = Barrier("done", alloc, NUM_PROCS)
+
+    # The scheduler decides who claims which task; precompute the claim
+    # order deterministically (round-robin here, like a real queue pop).
+    claims = {p: list(range(p, NUM_TASKS, NUM_PROCS))
+              for p in range(NUM_PROCS)}
+
+    def worker(tid):
+        for task_index in claims[tid]:
+            # Claim: pop the queue head under the lock.
+            yield from queue_lock.acquire(tid)
+            yield from ops.read_modify_write(next_task.base)
+            yield ops.store(TASK.field_word(tasks[task_index], "state"))
+            yield from queue_lock.release(tid)
+            # Work: read the input, write the result — no lock needed,
+            # the task is exclusively ours now... or is the *block*?
+            yield from ops.load_words(
+                TASK.field_words(tasks[task_index], "input"))
+            for w in TASK.field_words(tasks[task_index], "result"):
+                yield from ops.read_modify_write(w)
+            yield ops.store(TASK.field_word(tasks[task_index], "state"))
+        yield from done_barrier.wait(tid)
+
+    machine = Machine(NUM_PROCS)
+    trace = machine.run([worker(p) for p in range(NUM_PROCS)],
+                        name="work-queue",
+                        meta={"data_set_bytes": alloc.used_bytes})
+    return trace
+
+
+def main():
+    trace = build_program()
+    print(f"Generated {trace.name}: {len(trace)} events, "
+          f"{trace.meta['data_set_bytes']} bytes of data\n")
+
+    # The delayed protocols are only meaningful on race-free traces.
+    assert_race_free(trace)
+    print("Race check: PASSED (all task updates properly synchronized)\n")
+
+    bd = classify_trace(trace, BLOCK_BYTES)
+    print(f"Classification at {BLOCK_BYTES}-byte blocks:")
+    print(f"  {bd.describe()}\n")
+    if bd.pfs > 0.2 * bd.total:
+        per_block = BLOCK_BYTES // TASK.nbytes + 1
+        print(f"  {100 * bd.pfs / bd.total:.0f}% of misses are USELESS: "
+              f"the {TASK.nbytes}-byte task records pack ~{per_block} per "
+              f"block, so workers invalidate each other without "
+              f"communicating.  Padding tasks to {BLOCK_BYTES} bytes "
+              f"would eliminate these.\n")
+
+    print("What the delaying protocols recover:")
+    for name, r in run_protocols(trace, BLOCK_BYTES,
+                                 ["MIN", "OTF", "RD", "SRD", "WBWI"]).items():
+        print(f"  {r.describe()}")
+
+
+if __name__ == "__main__":
+    main()

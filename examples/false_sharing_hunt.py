@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Hunting false sharing in a data layout — the paper's motivating use.
+
+A correct true/false sharing measurement tells you whether a miss rate can
+be fixed by *layout* changes (padding, alignment) or whether it is genuine
+communication.  This example builds the classic "per-thread counters in one
+cache line" bug, shows the classification pinpointing it, then applies the
+fix (padding) and shows the useless misses disappear.
+
+Run:  python examples/false_sharing_hunt.py
+"""
+
+from repro import classify_trace
+from repro.execution import Machine, ops
+from repro.mem import Allocator
+
+NUM_PROCS = 8
+INCREMENTS = 200
+BLOCK_BYTES = 64
+
+
+def counter_program(stride_bytes):
+    """Each processor increments its own counter; counters are laid out
+    ``stride_bytes`` apart."""
+    alloc = Allocator()
+    counters = [alloc.alloc_bytes(f"counter[{p}]", stride_bytes)
+                for p in range(NUM_PROCS)]
+
+    def thread(tid):
+        mine = counters[tid].base
+        for _ in range(INCREMENTS):
+            yield from ops.read_modify_write(mine)
+
+    machine = Machine(NUM_PROCS)
+    return machine.run([thread(p) for p in range(NUM_PROCS)],
+                       name=f"counters-stride{stride_bytes}")
+
+
+def report(trace):
+    bd = classify_trace(trace, BLOCK_BYTES)
+    print(f"  {trace.name}: miss rate {bd.miss_rate:.2f}%  "
+          f"({bd.total} misses: {bd.cold} cold, {bd.pts} true sharing, "
+          f"{bd.pfs} FALSE sharing)")
+    return bd
+
+
+def main():
+    print(f"Per-processor counters, {NUM_PROCS} processors, "
+          f"{BLOCK_BYTES}-byte blocks\n")
+
+    print("Buggy layout — counters packed 4 bytes apart (one block):")
+    packed = report(counter_program(stride_bytes=4))
+
+    print("\nFixed layout — counters padded to one block each:")
+    padded = report(counter_program(stride_bytes=BLOCK_BYTES))
+
+    print()
+    eliminated = packed.pfs - padded.pfs
+    print(f"Padding eliminated {eliminated} useless misses "
+          f"({packed.pfs} -> {padded.pfs}).")
+    print(f"Essential misses are unchanged ({packed.essential} vs "
+          f"{padded.essential}): nothing was truly shared — the "
+          f"classification proves the misses were pure layout artifacts.")
+
+    assert padded.pfs == 0
+    assert packed.essential == padded.essential
+
+
+if __name__ == "__main__":
+    main()

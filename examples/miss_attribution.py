@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Attribute misses to the data structures causing them.
+
+The paper explains its Figure 5 curves by naming data structures: MP3D's
+false sharing comes "from modifications of particles and of space cells",
+plus the ANL sync words at small blocks.  This example performs that
+attribution mechanically for MP3D: every miss is charged to the structure
+containing the word whose access missed, giving a per-structure
+PC/CTS/CFS/PTS/PFS table and a ranked list of false-sharing offenders.
+
+Run:  python examples/miss_attribution.py [BLOCK_BYTES]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.analysis import attribute_misses
+from repro.classify.breakdown import DuboisBreakdown
+from repro.workloads import make_workload
+
+
+def family_of(region_name):
+    """Collapse 'mp3d.particle[17]' -> 'particle'."""
+    name = region_name.split(".", 1)[-1]
+    return name.split("[", 1)[0]
+
+
+def main(block_bytes=64):
+    print("Generating MP3D200 (16 simulated processors)...")
+    trace = make_workload("MP3D200").generate()
+
+    result = attribute_misses(trace, block_bytes)
+
+    # Roll individual array elements up into structure families.
+    families = defaultdict(lambda: DuboisBreakdown(0, 0, 0, 0, 0, 0))
+    for name, bd in result.by_region.items():
+        families[family_of(name)] = families[family_of(name)] + bd
+
+    print(f"\nMisses by data structure @ {block_bytes}-byte blocks:")
+    print(f"  {'structure':12s} {'cold':>7s} {'PTS':>7s} {'PFS':>7s} "
+          f"{'total':>7s}  {'share of all PFS':>16s}")
+    total_pfs = sum(bd.pfs for bd in families.values()) or 1
+    for fam, bd in sorted(families.items(), key=lambda kv: -kv[1].total):
+        print(f"  {fam:12s} {bd.cold:>7d} {bd.pts:>7d} {bd.pfs:>7d} "
+              f"{bd.total:>7d}  {100 * bd.pfs / total_pfs:>15.1f}%")
+
+    print("\nTop false-sharing regions (element granularity):")
+    for name, count in result.top_false_sharers(limit=5):
+        print(f"  {name:24s} {count} useless misses")
+
+    print("\nReading the table (paper section 6):")
+    print(" * particle: 36-byte records, interleaved owners -> neighbours")
+    print("   share blocks; their PFS is the layout cost of packing.")
+    print(" * cell: 48-byte records updated under locks -> write-shared")
+    print("   blocks between adjacent cells.")
+    print(" * celllock: adjacent one-word ANL locks -> sync-word sharing.")
+    print("Padding any of these to the block size moves its PFS to zero")
+    print("without touching the PTS column (the genuine communication).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Run the paper's *true* large configurations (LU200, MP3D10000, WATER288).
+
+The benchmark suite uses scaled stand-ins so it regenerates in minutes;
+this script runs the real sizes — tens of millions of simulated references
+— for anyone who wants the closest possible comparison with the paper's
+section 7.  Expect tens of minutes per benchmark in pure Python.
+
+A ``--sample FRACTION`` option applies deterministic window sampling
+(:meth:`repro.trace.Trace.sample`) after generation, which keeps the
+interleaving structure while cutting classification cost; note that
+sampling biases cold-miss counts high (each window restart looks cold), so
+use it for sharing-shape exploration, not for cold-rate comparisons.
+
+Run:  python examples/paper_scale.py [--sample 0.1] [NAMES...]
+e.g.  python examples/paper_scale.py --sample 0.05 LU200
+"""
+
+import argparse
+import time
+
+from repro.analysis import sweep_block_sizes
+from repro.trace.stats import benchmark_stats
+from repro.workloads import PAPER_LARGE_SUITE, make_workload
+
+
+def run_one(name, sample_fraction):
+    print(f"=== {name} ===")
+    t0 = time.time()
+    trace = make_workload(name).generate()
+    print(f"generated {len(trace):,} events in {time.time() - t0:.0f}s")
+    stats = benchmark_stats(trace)
+    print(f"  reads={stats.reads:,} writes={stats.writes:,} "
+          f"acq/rel={stats.acq_rel:,} data={stats.data_set_kb:.0f}KB "
+          f"speedup={stats.speedup:.1f}")
+    if sample_fraction:
+        trace = trace.sample(sample_fraction)
+        print(f"  sampled to {len(trace):,} events "
+              f"(fraction {sample_fraction})")
+    t0 = time.time()
+    sweep = sweep_block_sizes(trace, (32, 64, 256, 1024))
+    print(sweep.format())
+    print(f"classified in {time.time() - t0:.0f}s\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", default=list(PAPER_LARGE_SUITE),
+                        help="workloads to run (default: the paper's three)")
+    parser.add_argument("--sample", type=float, default=0.0,
+                        help="trace fraction to classify (0 = all)")
+    args = parser.parse_args()
+    for name in args.names:
+        run_one(name, args.sample)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — reproduction of Dubois et al., ISCA 1993:
+
+*The Detection and Elimination of Useless Misses in Multiprocessors.*
+
+Public API highlights
+---------------------
+* :func:`repro.classify.classify` / :class:`repro.classify.DuboisClassifier`
+  — the paper's essential/useless miss classification (Appendix A), plus
+  the Eggers and Torrellas schemes it is compared against.
+* :mod:`repro.protocols` — the seven invalidation schedules
+  (MIN/OTF/RD/SD/SRD/WBWI/MAX) and a finite-cache extension.
+* :mod:`repro.workloads` — MP3D/WATER/LU/JACOBI trace generators running on
+  a simulated 16-processor machine (:mod:`repro.execution`).
+* :mod:`repro.analysis` — block-size sweeps and the paper's tables/figures.
+* :mod:`repro.trace` — trace model, I/O, interleaving, race validation.
+
+Quickstart
+----------
+>>> from repro import TraceBuilder, classify_trace
+>>> trace = (TraceBuilder(num_procs=2)
+...          .store(0, 0).load(1, 0).store(0, 1).load(1, 1).build("fig1"))
+>>> classify_trace(trace, block_bytes=8).essential
+3
+"""
+
+from . import analysis, classify, execution, mem, protocols, trace, workloads
+from .classify import (
+    DuboisBreakdown,
+    DuboisClassifier,
+    EggersClassifier,
+    MissClass,
+    SimpleBreakdown,
+    TorrellasClassifier,
+    classify as classify_trace,
+    compare_classifications,
+)
+from .mem import BlockMap, PAPER_BLOCK_SIZES, WORD_SIZE
+from .protocols import ProtocolResult, run_protocol, run_protocols
+from .trace import Trace, TraceBuilder
+from .workloads import make_workload, suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockMap",
+    "DuboisBreakdown",
+    "DuboisClassifier",
+    "EggersClassifier",
+    "MissClass",
+    "PAPER_BLOCK_SIZES",
+    "ProtocolResult",
+    "SimpleBreakdown",
+    "TorrellasClassifier",
+    "Trace",
+    "TraceBuilder",
+    "WORD_SIZE",
+    "__version__",
+    "analysis",
+    "classify",
+    "classify_trace",
+    "compare_classifications",
+    "execution",
+    "make_workload",
+    "mem",
+    "protocols",
+    "run_protocol",
+    "run_protocols",
+    "suite",
+    "trace",
+    "workloads",
+]

@@ -1,0 +1,60 @@
+"""Analysis and reporting: sweeps, the paper's tables/figures, invariants."""
+
+from .attribution import (
+    AttributionResult,
+    RegionTable,
+    UNMAPPED,
+    attribute_misses,
+)
+from .figures import Fig5Panel, Fig6Panel, figure5, figure6
+from .prefetch import PrefetchAnalysis, PrefetchFloors, prefetch_analysis
+from .invariants import (
+    check_all,
+    check_block_size_monotonicity,
+    check_cold_agreement_ours_eggers,
+    check_eggers_tsm_subset_torrellas,
+    check_min_is_essential,
+    check_protocol_ordering,
+    check_total_miss_agreement,
+)
+from .report import format_bars, format_stacked_bars, format_table
+from .sweep import SweepResult, sweep_block_sizes, sweep_comparisons
+from .tables import (
+    TABLE1_ROWS,
+    build_table1,
+    build_table2,
+    format_table1,
+    format_table2,
+)
+
+__all__ = [
+    "AttributionResult",
+    "Fig5Panel",
+    "Fig6Panel",
+    "SweepResult",
+    "TABLE1_ROWS",
+    "build_table1",
+    "build_table2",
+    "check_all",
+    "check_block_size_monotonicity",
+    "check_cold_agreement_ours_eggers",
+    "check_eggers_tsm_subset_torrellas",
+    "check_min_is_essential",
+    "check_protocol_ordering",
+    "check_total_miss_agreement",
+    "RegionTable",
+    "UNMAPPED",
+    "PrefetchAnalysis",
+    "PrefetchFloors",
+    "attribute_misses",
+    "figure5",
+    "figure6",
+    "format_bars",
+    "format_stacked_bars",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "prefetch_analysis",
+    "sweep_block_sizes",
+    "sweep_comparisons",
+]

@@ -1,0 +1,94 @@
+"""Plain-text rendering of tables and bar charts.
+
+The paper's results are two tables and two multi-panel figures; since this
+library is terminal-first, figures are rendered as aligned numeric series
+plus optional horizontal ASCII bars (one bar per protocol / block size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, title: str = "", align_left_cols: int = 1) -> str:
+    """Render an aligned text table.
+
+    ``align_left_cols`` columns from the left are left-aligned (labels);
+    the rest are right-aligned (numbers).
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(cells):
+        parts = []
+        for i, cell in enumerate(row):
+            if i < align_left_cols:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        lines.append("  ".join(parts))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_bars(series: Dict[str, float], *, width: int = 46,
+                title: str = "", unit: str = "%",
+                max_value: Optional[float] = None) -> str:
+    """Render ``{label: value}`` as horizontal bars.
+
+    >>> print(format_bars({"OTF": 4.0, "MIN": 2.0}, width=8))
+    OTF  4.00% ########
+    MIN  2.00% ####
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not series:
+        return title or ""
+    top = max_value if max_value is not None else max(series.values()) or 1.0
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(k) for k in series)
+    value_w = max(len(f"{v:.2f}") for v in series.values())
+    for label, value in series.items():
+        n = int(round(width * min(value, top) / top))
+        lines.append(f"{label.ljust(label_w)}  {value:>{value_w}.2f}{unit} "
+                     f"{'#' * n}")
+    return "\n".join(lines)
+
+
+def format_stacked_bars(rows: Dict[str, Dict[str, float]], *,
+                        width: int = 46, title: str = "",
+                        glyphs: Optional[Dict[str, str]] = None) -> str:
+    """Render stacked horizontal bars (e.g. TRUE/COLD/FALSE per protocol).
+
+    ``rows`` maps a bar label to ordered ``{component: value}``.  Each
+    component gets a distinct fill glyph (default: T, C, F, ...).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not rows:
+        return title or ""
+    totals = {label: sum(parts.values()) for label, parts in rows.items()}
+    top = max(totals.values()) or 1.0
+    label_w = max(len(k) for k in rows)
+    components: List[str] = []
+    for parts in rows.values():
+        for c in parts:
+            if c not in components:
+                components.append(c)
+    glyphs = glyphs or {c: c[0].upper() for c in components}
+    for label, parts in rows.items():
+        bar = ""
+        for c, v in parts.items():
+            n = int(round(width * v / top))
+            bar += glyphs.get(c, "#") * n
+        lines.append(f"{label.ljust(label_w)}  {totals[label]:6.2f}% {bar}")
+    legend = "  ".join(f"{glyphs.get(c, '#')}={c}" for c in components)
+    lines.append(f"{' ' * label_w}  legend: {legend}")
+    return "\n".join(lines)

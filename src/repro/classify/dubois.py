@@ -1,0 +1,231 @@
+"""The paper's essential/useless miss classification (Appendix A).
+
+This is the reference implementation of the core contribution: every miss of
+an infinite-cache write-invalidate execution is classified, *at the end of
+the lifetime it begins*, into
+
+* **PC** — pure cold,
+* **CTS** — cold and true sharing,
+* **CFS** — cold and false sharing,
+* **PTS** — pure true sharing (essential, not cold),
+* **PFS** — pure false sharing (useless).
+
+State (following Appendix A): per (block, processor) a Presence flag ``P``,
+an Essential-Miss flag ``EM`` and a First-Reference flag ``FR``; per (word,
+processor) a Communication flag ``C``.  We represent each per-processor flag
+family as an integer bitmask per block/word, which keeps the inner loop
+allocation-free.
+
+Two places in the paper's Pascal-like pseudocode contain obvious typos that
+we correct (both are forced by the prose definitions in section 2.0):
+
+* ``classify`` guards with ``(my_block or (i < proc_id))``; a *write* must
+  end the lifetimes of all processors *other than the writer*, so the
+  condition is ``(my_block or (i <> proc_id))``.
+* the C-flag clearing loop indexes ``C[block_ad + block_len*i]``; it must
+  iterate over the ``block_len`` words *of the block*, i.e.
+  ``C[base_word(block_ad) + i] for i in 0..block_len-1``.
+
+Extension (paper section 2.0, "refine the definition of cold misses"): cold
+misses are split into PC/CTS/CFS by snapshotting, at lifetime start, whether
+the block had been modified since the start of the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import TraceError
+from ..mem.addresses import BlockMap
+from ..trace.events import LOAD, STORE
+from ..trace.trace import Trace
+from .breakdown import DuboisBreakdown, MissClass, MissRecord
+
+
+class DuboisClassifier:
+    """Streaming implementation of the Appendix A algorithm.
+
+    Feed data events with :meth:`access` (sync events may be passed to
+    :meth:`event`; they are ignored), then call :meth:`finish` once.
+
+    Parameters
+    ----------
+    num_procs:
+        Processor count of the trace.
+    block_map:
+        The block-size configuration to classify under.
+    record_misses:
+        When true, per-miss :class:`MissRecord` objects are kept in
+        :attr:`misses` (costs memory; off by default).
+    """
+
+    def __init__(self, num_procs: int, block_map: BlockMap,
+                 *, record_misses: bool = False):
+        if num_procs <= 0:
+            raise TraceError(f"num_procs must be positive, got {num_procs}")
+        self.num_procs = num_procs
+        self.block_map = block_map
+        self.record_misses = record_misses
+
+        self._all_mask = (1 << num_procs) - 1
+        # Bitmask state, keyed by block address (P/EM/FR/dirty-at-fetch)
+        # or word address (C).  Missing key == all zeros.
+        self._present: Dict[int, int] = {}
+        self._essential: Dict[int, int] = {}
+        self._first_ref_done: Dict[int, int] = {}
+        self._dirty_at_fetch: Dict[int, int] = {}
+        self._comm: Dict[int, int] = {}
+        self._modified: Dict[int, bool] = {}
+        # Lifetime start index per (block, proc), only when recording.
+        self._lifetime_start: Dict[int, List[int]] = {}
+
+        self._counts = {MissClass.PC: 0, MissClass.CTS: 0, MissClass.CFS: 0,
+                        MissClass.PTS: 0, MissClass.PFS: 0}
+        self._data_refs = 0
+        self._finished = False
+        #: Per-miss records (populated only when ``record_misses``).
+        self.misses: List[MissRecord] = []
+
+    # ------------------------------------------------------------------
+    # event feeding
+    # ------------------------------------------------------------------
+    def access(self, proc: int, op: int, word_addr: int) -> None:
+        """Process one data reference (``op`` is LOAD or STORE)."""
+        if self._finished:
+            raise TraceError("classifier already finished")
+        if op == LOAD:
+            self._data_refs += 1
+            self._read_action(proc, word_addr)
+        elif op == STORE:
+            self._data_refs += 1
+            self._write_action(proc, word_addr)
+        else:
+            raise TraceError(f"access expects LOAD/STORE, got op {op}")
+
+    def event(self, proc: int, op: int, addr: int) -> None:
+        """Process any trace event; synchronization events are ignored."""
+        if op == LOAD or op == STORE:
+            self.access(proc, op, addr)
+
+    # ------------------------------------------------------------------
+    # Appendix A actions
+    # ------------------------------------------------------------------
+    def _read_action(self, proc: int, word_addr: int) -> None:
+        block = self.block_map.block_of(word_addr)
+        bit = 1 << proc
+        present = self._present.get(block, 0)
+        if not present & bit:
+            # Miss: a new lifetime starts here.
+            self._present[block] = present | bit
+            self._essential[block] = self._essential.get(block, 0) & ~bit
+            if self._modified.get(block, False):
+                self._dirty_at_fetch[block] = self._dirty_at_fetch.get(block, 0) | bit
+            else:
+                self._dirty_at_fetch[block] = self._dirty_at_fetch.get(block, 0) & ~bit
+            if self.record_misses:
+                self._lifetime_start.setdefault(
+                    block, [(0, -1)] * self.num_procs)[proc] \
+                    = (self._data_refs - 1, word_addr)
+        if self._comm.get(word_addr, 0) & bit:
+            # The access touches a value defined by another processor since
+            # this processor's last essential miss: the lifetime's miss is
+            # essential, and all pending communicated values of the block
+            # are considered delivered (clear C for every word).
+            self._essential[block] = self._essential.get(block, 0) | bit
+            nbit = ~bit
+            for w in self.block_map.words_of(block):
+                cw = self._comm.get(w, 0)
+                if cw & bit:
+                    self._comm[w] = cw & nbit
+
+    def _write_action(self, proc: int, word_addr: int) -> None:
+        # A store is also an access (may start a lifetime / detect sharing).
+        self._read_action(proc, word_addr)
+        block = self.block_map.block_of(word_addr)
+        bit = 1 << proc
+        # The store invalidates every other copy: classify those lifetimes.
+        others = self._present.get(block, 0) & ~bit
+        if others:
+            self._classify_mask(block, others)
+            self._present[block] = bit
+        # Flag the new value for all other processors.
+        self._comm[word_addr] = self._comm.get(word_addr, 0) | (self._all_mask & ~bit)
+        self._modified[block] = True
+
+    def _classify_mask(self, block: int, mask: int) -> None:
+        """Classify (and end) the lifetimes of every processor in ``mask``."""
+        first_done = self._first_ref_done.get(block, 0)
+        essential = self._essential.get(block, 0)
+        dirty = self._dirty_at_fetch.get(block, 0)
+        counts = self._counts
+        m = mask
+        while m:
+            low = m & -m
+            m ^= low
+            if not first_done & low:
+                # First completed lifetime for this processor: a cold miss,
+                # refined by whether it communicated (EM) or fetched a
+                # modified-but-unused block (dirty at fetch).
+                if essential & low:
+                    mclass = MissClass.CTS
+                elif dirty & low:
+                    mclass = MissClass.CFS
+                else:
+                    mclass = MissClass.PC
+            elif essential & low:
+                mclass = MissClass.PTS
+            else:
+                mclass = MissClass.PFS
+            counts[mclass] += 1
+            if self.record_misses:
+                proc = low.bit_length() - 1
+                start, word = self._lifetime_start.get(
+                    block, [(0, -1)] * self.num_procs)[proc]
+                self.misses.append(MissRecord(proc=proc, block=block,
+                                              start=start, end=self._data_refs,
+                                              mclass=mclass, word=word))
+        self._first_ref_done[block] = first_done | mask
+
+    # ------------------------------------------------------------------
+    # finishing
+    # ------------------------------------------------------------------
+    def finish(self) -> DuboisBreakdown:
+        """Classify all still-live lifetimes and return the breakdown."""
+        if self._finished:
+            raise TraceError("classifier already finished")
+        self._finished = True
+        for block, present in self._present.items():
+            if present:
+                self._classify_mask(block, present)
+                self._present[block] = 0
+        c = self._counts
+        return DuboisBreakdown(pc=c[MissClass.PC], cts=c[MissClass.CTS],
+                               cfs=c[MissClass.CFS], pts=c[MissClass.PTS],
+                               pfs=c[MissClass.PFS], data_refs=self._data_refs)
+
+    # ------------------------------------------------------------------
+    # one-shot driver
+    # ------------------------------------------------------------------
+    @classmethod
+    def classify_trace(cls, trace: Trace, block_map: BlockMap,
+                       *, record_misses: bool = False,
+                       out_records: Optional[list] = None) -> DuboisBreakdown:
+        """Classify a whole trace at one block size.
+
+        ``out_records`` (a list), when given together with
+        ``record_misses=True``, receives the per-miss records.
+        """
+        clf = cls(trace.num_procs, block_map, record_misses=record_misses)
+        access = clf.access
+        for proc, op, addr in trace.events:
+            if op == LOAD or op == STORE:
+                access(proc, op, addr)
+        breakdown = clf.finish()
+        if out_records is not None:
+            out_records.extend(clf.misses)
+        return breakdown
+
+
+def classify(trace: Trace, block_bytes: int, **kwargs) -> DuboisBreakdown:
+    """Convenience wrapper: classify ``trace`` at ``block_bytes``."""
+    return DuboisClassifier.classify_trace(trace, BlockMap(block_bytes), **kwargs)

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro <command>``.
+
+Commands
+--------
+classify    Classify a trace (file or named workload) at one block size.
+sweep       Figure 5: classification vs block size for one workload.
+simulate    Run one or all protocols over a workload at one block size.
+table1      Reproduce Table 1 (three-way classifier comparison).
+table2      Reproduce Table 2 (benchmark characteristics).
+fig5        Reproduce Figure 5 for the whole small suite.
+fig6        Reproduce Figure 6 (a and b) for the whole small suite.
+validate    Run the data-race checker over a trace file or workload.
+generate    Generate a workload trace and save it (.npz or .trc).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.figures import figure5, figure6
+from .analysis.sweep import sweep_block_sizes
+from .analysis.tables import (
+    build_table1,
+    build_table2,
+    format_table1,
+    format_table2,
+)
+from .classify.dubois import DuboisClassifier
+from .errors import ReproError
+from .mem.addresses import BlockMap
+from .protocols.runner import protocol_names, run_protocol, run_protocols
+from .trace import io as trace_io
+from .trace.trace import Trace
+from .trace.validate import check_races
+from .workloads.registry import NAMED_CONFIGS, make_workload, suite
+
+
+def _load_trace(spec: str) -> Trace:
+    """Resolve a trace argument: a named workload or a trace file path."""
+    if spec in NAMED_CONFIGS:
+        return make_workload(spec).generate()
+    if spec.endswith(".npz"):
+        return trace_io.load_npz(spec)
+    if spec.endswith(".trc") or spec.endswith(".txt"):
+        return trace_io.load_text(spec)
+    raise ReproError(
+        f"{spec!r} is neither a named workload ({sorted(NAMED_CONFIGS)}) "
+        f"nor a .npz/.trc trace file")
+
+
+def _cmd_classify(args) -> int:
+    trace = _load_trace(args.trace)
+    breakdown = DuboisClassifier.classify_trace(trace, BlockMap(args.block))
+    print(f"{trace.name} @ B={args.block}: {breakdown.describe()}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    trace = _load_trace(args.trace)
+    print(sweep_block_sizes(trace).format())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    trace = _load_trace(args.trace)
+    names = [args.protocol] if args.protocol else None
+    for name, result in run_protocols(trace, args.block, names).items():
+        print(result.describe())
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    traces = [make_workload(n).generate() for n in (args.benchmarks or
+                                                    ["LU64", "MP3D1000"])]
+    comparisons = build_table1(traces, block_sizes=(32, 1024))
+    print(format_table1(comparisons))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    traces = [wl.generate() for wl in suite(args.suite)]
+    print(format_table2(build_table2(traces)))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    traces = [wl.generate() for wl in suite(args.suite)]
+    for name, panel in figure5(traces).items():
+        print(panel.format())
+        print()
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    traces = [wl.generate() for wl in suite(args.suite)]
+    for block in args.blocks:
+        for name, panel in figure6(traces, block).items():
+            print(panel.format_table())
+            print()
+    return 0
+
+
+def _cmd_attribute(args) -> int:
+    from .analysis.attribution import attribute_misses
+
+    trace = _load_trace(args.trace)
+    result = attribute_misses(trace, args.block)
+    print(result.format())
+    top = result.top_false_sharers()
+    if top:
+        print()
+        print("Top false-sharing regions:")
+        for name, count in top:
+            print(f"  {name}: {count} useless misses")
+    return 0
+
+
+def _cmd_traffic(args) -> int:
+    from .protocols.traffic import estimate_traffic
+
+    trace = _load_trace(args.trace)
+    names = [args.protocol] if args.protocol else None
+    print(f"{'proto':6s} {'miss%':>7s} {'fetch B':>10s} {'word B':>9s} "
+          f"{'ctrl B':>9s} {'bytes/ref':>10s}")
+    for name, result in run_protocols(trace, args.block, names).items():
+        t = estimate_traffic(result)
+        print(f"{name:6s} {result.miss_rate:7.2f} {t.fetch_bytes:>10d} "
+              f"{t.word_write_bytes:>9d} {t.control_bytes:>9d} "
+              f"{t.per_reference(result.breakdown.data_refs):>10.1f}")
+    return 0
+
+
+def _cmd_prefetch(args) -> int:
+    from .analysis.prefetch import prefetch_analysis
+
+    trace = _load_trace(args.trace)
+    print(prefetch_analysis(trace).format())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    trace = _load_trace(args.trace)
+    report = check_races(trace)
+    print(f"{trace.name}: {report.describe()}")
+    return 0 if report.is_race_free else 1
+
+
+def _cmd_generate(args) -> int:
+    trace = make_workload(args.workload).generate()
+    if args.out.endswith(".npz"):
+        trace_io.save_npz(trace, args.out)
+    else:
+        trace_io.save_text(trace, args.out)
+    print(f"wrote {len(trace)} events to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dubois et al. (ISCA 1993) useless-miss reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify a trace at one block size")
+    p.add_argument("trace", help="named workload or trace file")
+    p.add_argument("--block", type=int, default=64, help="block size in bytes")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("sweep", help="Figure 5 sweep for one trace")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("simulate", help="run protocol simulations")
+    p.add_argument("trace")
+    p.add_argument("--block", type=int, default=64)
+    p.add_argument("--protocol", choices=protocol_names(),
+                   help="one protocol (default: all)")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    p.add_argument("--benchmarks", nargs="*", metavar="NAME")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce Table 2")
+    p.add_argument("--suite", default="small",
+                   choices=("small", "large", "paper-large"))
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("fig5", help="reproduce Figure 5")
+    p.add_argument("--suite", default="small",
+                   choices=("small", "large", "paper-large"))
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="reproduce Figure 6")
+    p.add_argument("--suite", default="small",
+                   choices=("small", "large", "paper-large"))
+    p.add_argument("--blocks", nargs="*", type=int, default=[64, 1024])
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("attribute",
+                       help="attribute misses to data structures")
+    p.add_argument("trace")
+    p.add_argument("--block", type=int, default=64)
+    p.set_defaults(func=_cmd_attribute)
+
+    p = sub.add_parser("traffic", help="estimate interconnect traffic")
+    p.add_argument("trace")
+    p.add_argument("--block", type=int, default=64)
+    p.add_argument("--protocol", choices=protocol_names())
+    p.set_defaults(func=_cmd_traffic)
+
+    p = sub.add_parser("prefetch",
+                       help="prefetching miss-rate floors (PC/CFS removal)")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_prefetch)
+
+    p = sub.add_parser("validate", help="check a trace for data races")
+    p.add_argument("trace")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("generate", help="generate and save a workload trace")
+    p.add_argument("workload", choices=sorted(NAMED_CONFIGS))
+    p.add_argument("out", help="output path (.npz or .trc)")
+    p.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed (bad event, bad processor id, bad opcode...)."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace could not be parsed."""
+
+
+class DataRaceError(TraceError):
+    """A trace contains a data race.
+
+    The delayed protocols (RD/SD/SRD) are only correct for race-free traces
+    that conform to release consistency (paper section 5.0), so the validator
+    raises this when two conflicting accesses are unordered by happens-before.
+    """
+
+    def __init__(self, message: str, first=None, second=None):
+        super().__init__(message)
+        #: The two conflicting events, when known (``(index, event)`` pairs).
+        self.first = first
+        self.second = second
+
+
+class LayoutError(ReproError):
+    """Invalid memory layout request (overlap, bad alignment, bad size)."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value for a workload, protocol or sweep."""
+
+
+class SimulationError(ReproError):
+    """The simulated multiprocessor reached an illegal state (deadlock,
+
+    a generator yielded a malformed operation, a barrier was re-entered
+    inconsistently, ...).
+    """
+
+
+class DeadlockError(SimulationError):
+    """All runnable threads are blocked on synchronization."""
+
+
+class ProtocolError(ReproError):
+    """A coherence-protocol simulator reached an inconsistent state."""

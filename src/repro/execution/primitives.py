@@ -1,0 +1,190 @@
+"""ANL-macro-style synchronization primitives.
+
+The paper's benchmarks use the Argonne National Laboratory (ANL) macro
+package for synchronization, and section 6 attributes measurable false
+sharing to its implementation details — in particular the barrier's
+*counter and flag stored in consecutive memory words*.  These primitives
+reproduce those memory footprints while emitting the ``ACQUIRE``/``RELEASE``
+events the delayed protocols (RD/SD/SRD) schedule on.
+
+Modeling choice: no spin loads
+------------------------------
+A real trace of a spinning processor contains an unbounded number of loads
+of the lock/flag word.  We model waiting with the scheduler's ``block``
+operation instead and emit a *bounded* footprint per operation (the
+test-and-set pair for locks, one load for flag waits).  This keeps traces
+finite and race-free under the happens-before checker while preserving the
+property the paper relies on: synchronization words are write-shared by all
+participants and sit next to each other in memory, so they cause coherence
+and false-sharing misses.  The effect of dropping the redundant spin re-loads
+is to *undercount hits*, which only raises the reported miss rates uniformly
+across protocols; classifications and protocol orderings are unaffected.
+
+Every primitive method is a generator to be driven with ``yield from``
+inside a thread body, e.g.::
+
+    def worker(tid):
+        yield from lock.acquire(tid)
+        yield from ops.update_region(shared)
+        yield from lock.release(tid)
+        yield from barrier.wait(tid)
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import SimulationError
+from ..mem.allocator import Allocator, Region
+from ..mem.layout import ANL_BARRIER, ANL_LOCK, StructLayout, padded_layout
+from ..trace.events import LOAD, STORE
+from .ops import MEM, Op, acquire_event, block_until, release_event
+
+
+class Lock:
+    """A test-and-set spin lock occupying one memory word.
+
+    Memory footprint per acquire: one load + one store of the lock word
+    (the successful test-and-set), preceded by an ``ACQUIRE`` event.
+    Per release: one store of the lock word followed by a ``RELEASE`` event.
+    """
+
+    def __init__(self, name: str, allocator: Allocator,
+                 *, layout: StructLayout = ANL_LOCK):
+        self.name = name
+        self.region: Region = allocator.alloc_bytes(name, layout.nbytes)
+        self.addr: int = self.region.base
+        self._holder: Optional[int] = None
+
+    def acquire(self, tid: int) -> Iterator[Op]:
+        """Block until free, then take the lock."""
+        yield block_until(lambda: self._holder is None)
+        if self._holder is not None:  # pragma: no cover - scheduler guarantees
+            raise SimulationError(f"lock {self.name!r} handed to {tid} while held")
+        self._holder = tid
+        yield acquire_event(self.addr)
+        yield (MEM, LOAD, self.addr)    # test
+        yield (MEM, STORE, self.addr)   # and set
+
+    def release(self, tid: int) -> Iterator[Op]:
+        """Release the lock; caller must hold it."""
+        if self._holder != tid:
+            raise SimulationError(
+                f"thread {tid} releasing lock {self.name!r} held by {self._holder}")
+        yield (MEM, STORE, self.addr)   # clear the lock word
+        yield release_event(self.addr)
+        self._holder = None
+
+    @property
+    def holder(self) -> Optional[int]:
+        """Current holder's thread id, or None."""
+        return self._holder
+
+
+class Barrier:
+    """ANL-style centralized sense-reversing barrier.
+
+    Layout: a counter word and a flag word in *consecutive* memory locations
+    (``ANL_BARRIER``), plus a protecting lock allocated immediately after —
+    this adjacency is the false-sharing source the paper identifies at
+    8-byte blocks.  Pass ``padded=True`` (ablation benchmarks) to pad the
+    counter/flag pair to a block boundary.
+
+    Per arrival the footprint is: lock acquire, read-modify-write of the
+    counter, lock release; then either a store of the flag plus a
+    ``RELEASE`` of it (the last arriver) or an ``ACQUIRE`` of the flag plus
+    a load of it (everyone else, after unblocking).
+    """
+
+    def __init__(self, name: str, allocator: Allocator, num_threads: int,
+                 *, padded: bool = False, pad_bytes: int = 64):
+        if num_threads <= 0:
+            raise SimulationError(f"barrier {name!r} needs >= 1 thread")
+        layout = padded_layout(ANL_BARRIER, pad_bytes) if padded else ANL_BARRIER
+        self.name = name
+        self.num_threads = num_threads
+        self.region = allocator.alloc_bytes(name, layout.nbytes)
+        self.counter_addr = layout.field_word(self.region, "counter")
+        self.flag_addr = layout.field_word(self.region, "flag")
+        self.lock = Lock(f"{name}.lock", allocator)
+        if padded:
+            # The ablation pads the whole sync footprint: the protecting
+            # lock word must not share a block with whatever the program
+            # allocates next.
+            allocator.pad_to(pad_bytes)
+        self._count = 0
+        self._sense = False   # value of the flag all current waiters wait for
+        self._episodes = 0
+
+    def wait(self, tid: int) -> Iterator[Op]:
+        """Arrive at the barrier; returns when all threads have arrived."""
+        local_sense = not self._sense
+        yield from self.lock.acquire(tid)
+        yield (MEM, LOAD, self.counter_addr)
+        yield (MEM, STORE, self.counter_addr)
+        self._count += 1
+        last = self._count == self.num_threads
+        if last:
+            self._count = 0
+            self._episodes += 1
+        yield from self.lock.release(tid)
+        if last:
+            yield (MEM, STORE, self.flag_addr)
+            yield release_event(self.flag_addr)
+            # Flip the sense only after the RELEASE event is in the trace so
+            # waiters' ACQUIRE events sort after it (keeps the trace
+            # race-free under the happens-before checker).
+            self._sense = local_sense
+        else:
+            yield block_until(lambda: self._sense == local_sense)
+            yield acquire_event(self.flag_addr)
+            yield (MEM, LOAD, self.flag_addr)
+
+    @property
+    def episodes(self) -> int:
+        """Number of completed barrier episodes."""
+        return self._episodes
+
+
+class Flag:
+    """One-shot produced/consumed flag (pause/continue in ANL terms).
+
+    LU uses this pattern: a consumer waits until a column's flag is set by
+    its producer.  ``set`` stores the flag word then emits ``RELEASE``;
+    ``wait`` blocks, emits ``ACQUIRE``, then loads the word — giving the
+    happens-before edge that makes the consumer's reads race-free.
+    """
+
+    def __init__(self, name: str, allocator: Allocator,
+                 *, region: Optional[Region] = None, addr: Optional[int] = None):
+        self.name = name
+        if addr is not None:
+            self.addr = addr
+        else:
+            self.region = region or allocator.alloc_bytes(name, 4)
+            self.addr = self.region.base
+        self._set = False
+
+    def set(self, tid: int) -> Iterator[Op]:
+        """Publish: store the flag and release it."""
+        yield (MEM, STORE, self.addr)
+        yield release_event(self.addr)
+        self._set = True
+
+    def wait(self, tid: int) -> Iterator[Op]:
+        """Block until published, then acquire + load the flag word."""
+        if not self._set:
+            yield block_until(lambda: self._set)
+        yield acquire_event(self.addr)
+        yield (MEM, LOAD, self.addr)
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+
+def make_flags(prefix: str, allocator: Allocator, count: int) -> List[Flag]:
+    """Allocate ``count`` adjacent one-word flags (e.g. LU column flags)."""
+    region = allocator.alloc_words(prefix, count)
+    return [Flag(f"{prefix}[{i}]", allocator, addr=region.base + i)
+            for i in range(count)]

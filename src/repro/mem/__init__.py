@@ -1,0 +1,44 @@
+"""Simulated memory layout: addresses, allocation, record layouts."""
+
+from .addresses import (
+    BlockMap,
+    CACHE_BLOCK_BYTES,
+    PAPER_BLOCK_SIZES,
+    VSM_BLOCK_BYTES,
+    WORD_SIZE,
+    bytes_to_words,
+    is_power_of_two,
+    words_to_bytes,
+)
+from .allocator import Allocator, Region
+from .layout import (
+    ANL_BARRIER,
+    ANL_LOCK,
+    Field,
+    PARTICLE,
+    SPACE_CELL,
+    StructLayout,
+    WATER_MOLECULE,
+    padded_layout,
+)
+
+__all__ = [
+    "ANL_BARRIER",
+    "ANL_LOCK",
+    "Allocator",
+    "BlockMap",
+    "CACHE_BLOCK_BYTES",
+    "Field",
+    "PAPER_BLOCK_SIZES",
+    "PARTICLE",
+    "Region",
+    "SPACE_CELL",
+    "StructLayout",
+    "VSM_BLOCK_BYTES",
+    "WATER_MOLECULE",
+    "WORD_SIZE",
+    "bytes_to_words",
+    "is_power_of_two",
+    "padded_layout",
+    "words_to_bytes",
+]

@@ -1,0 +1,160 @@
+"""Bump allocator over the simulated word-addressed memory.
+
+Workload generators allocate their data structures (particle arrays, grid
+arrays, lock words, ...) from an :class:`Allocator` so that the *relative*
+layout — which objects share a cache block — matches what the paper
+describes.  Alignment is expressed in bytes and regions can be named for
+debugging and reporting (the data-set sizes of Table 2 are computed from the
+allocator's high-water mark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import LayoutError
+from .addresses import WORD_SIZE, bytes_to_words, is_power_of_two
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous span of words handed out by the allocator."""
+
+    name: str
+    base: int            # first word address
+    words: int           # length in words
+
+    @property
+    def end(self) -> int:
+        """One past the last word address."""
+        return self.base + self.words
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes."""
+        return self.words * WORD_SIZE
+
+    def word(self, index: int) -> int:
+        """Word address of the ``index``-th word of the region."""
+        if not 0 <= index < self.words:
+            raise LayoutError(
+                f"word index {index} out of range for region {self.name!r} "
+                f"({self.words} words)")
+        return self.base + index
+
+    def __contains__(self, word_addr: int) -> bool:
+        return self.base <= word_addr < self.end
+
+
+@dataclass
+class Allocator:
+    """Sequential (bump) allocator.
+
+    Parameters
+    ----------
+    base_word:
+        First word address handed out.  Defaults to 0.
+    """
+
+    base_word: int = 0
+    _next: int = field(init=False)
+    _regions: List[Region] = field(init=False, default_factory=list)
+    _by_name: Dict[str, Region] = field(init=False, default_factory=dict)
+
+    def __post_init__(self):
+        if self.base_word < 0:
+            raise LayoutError(f"negative base word {self.base_word}")
+        self._next = self.base_word
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc_bytes(self, name: str, nbytes: int, *, align_bytes: int = WORD_SIZE) -> Region:
+        """Allocate ``nbytes`` (rounded up to whole words), aligned.
+
+        ``align_bytes`` must be a power of two and a multiple of the word
+        size.  Object sizes from the paper are deliberately *not* rounded to
+        block boundaries — e.g. MP3D's 36-byte particles straddle 32-byte
+        blocks, which is precisely what creates its false sharing.
+        """
+        if nbytes <= 0:
+            raise LayoutError(f"cannot allocate {nbytes} bytes for {name!r}")
+        if not is_power_of_two(align_bytes) or align_bytes % WORD_SIZE:
+            raise LayoutError(
+                f"alignment must be a power-of-two multiple of {WORD_SIZE} "
+                f"bytes, got {align_bytes}")
+        align_words = align_bytes // WORD_SIZE
+        start = -(-self._next // align_words) * align_words
+        region = Region(name=name, base=start, words=bytes_to_words(nbytes))
+        self._next = region.end
+        self._register(region)
+        return region
+
+    def alloc_words(self, name: str, nwords: int, *, align_bytes: int = WORD_SIZE) -> Region:
+        """Allocate ``nwords`` words (see :meth:`alloc_bytes`)."""
+        return self.alloc_bytes(name, nwords * WORD_SIZE, align_bytes=align_bytes)
+
+    def alloc_array(self, name: str, count: int, elem_bytes: int,
+                    *, align_bytes: int = WORD_SIZE) -> List[Region]:
+        """Allocate ``count`` back-to-back elements of ``elem_bytes`` each.
+
+        Elements are packed contiguously (no per-element padding) exactly as
+        a C array of structs would be; only the array start is aligned.
+        Returns one :class:`Region` per element, named ``name[i]``.
+        """
+        if count <= 0:
+            raise LayoutError(f"cannot allocate array {name!r} of {count} elements")
+        elem_words = bytes_to_words(elem_bytes)
+        block = self.alloc_words(name, count * elem_words, align_bytes=align_bytes)
+        elems = []
+        for i in range(count):
+            elem = Region(name=f"{name}[{i}]", base=block.base + i * elem_words,
+                          words=elem_words)
+            elems.append(elem)
+        return elems
+
+    def pad_to(self, align_bytes: int) -> None:
+        """Advance the bump pointer to the next ``align_bytes`` boundary."""
+        if not is_power_of_two(align_bytes) or align_bytes % WORD_SIZE:
+            raise LayoutError(f"bad padding alignment {align_bytes}")
+        align_words = align_bytes // WORD_SIZE
+        self._next = -(-self._next // align_words) * align_words
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _register(self, region: Region) -> None:
+        if region.name in self._by_name:
+            raise LayoutError(f"duplicate region name {region.name!r}")
+        self._regions.append(region)
+        self._by_name[region.name] = region
+
+    def region(self, name: str) -> Region:
+        """Look a region up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LayoutError(f"no region named {name!r}") from None
+
+    @property
+    def regions(self) -> List[Region]:
+        """All top-level regions, in allocation order."""
+        return list(self._regions)
+
+    @property
+    def used_words(self) -> int:
+        """High-water mark in words (the simulated data-set size)."""
+        return self._next - self.base_word
+
+    @property
+    def used_bytes(self) -> int:
+        """High-water mark in bytes."""
+        return self.used_words * WORD_SIZE
+
+    def owner_of(self, word_addr: int) -> Region | None:
+        """Region containing ``word_addr``, or None (linear scan; debug aid)."""
+        for region in self._regions:
+            if word_addr in region:
+                return region
+        return None

@@ -1,0 +1,178 @@
+"""Declarative record layouts for the benchmark data structures.
+
+The paper's section 6 explains each benchmark's sharing behaviour in terms
+of the byte layout of its records — particles are 36 bytes, space cells 48,
+water molecules 680, the ANL barrier is a counter and a flag in adjacent
+words.  :class:`StructLayout` lets workloads declare those layouts once and
+then resolve field word-addresses for any instance allocated from a
+:class:`~repro.mem.allocator.Region`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import LayoutError
+from .addresses import WORD_SIZE, bytes_to_words
+from .allocator import Region
+
+
+@dataclass(frozen=True)
+class Field:
+    """One field of a record: a name plus a size in bytes."""
+
+    name: str
+    nbytes: int
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise LayoutError(f"field {self.name!r} has size {self.nbytes}")
+        if self.nbytes % WORD_SIZE:
+            raise LayoutError(
+                f"field {self.name!r} size {self.nbytes} is not a whole "
+                f"number of {WORD_SIZE}-byte words")
+
+    @property
+    def words(self) -> int:
+        return self.nbytes // WORD_SIZE
+
+
+class StructLayout:
+    """Packed record layout: fields placed back to back, no padding.
+
+    >>> particle = StructLayout("particle", [("pos", 12), ("vel", 12),
+    ...                                      ("cell", 4), ("props", 8)])
+    >>> particle.nbytes
+    36
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, int]]):
+        self.name = name
+        self.fields: List[Field] = [Field(fname, fbytes) for fname, fbytes in fields]
+        if not self.fields:
+            raise LayoutError(f"struct {name!r} has no fields")
+        self._offsets: Dict[str, int] = {}
+        offset_words = 0
+        for f in self.fields:
+            if f.name in self._offsets:
+                raise LayoutError(f"duplicate field {f.name!r} in struct {name!r}")
+            self._offsets[f.name] = offset_words
+            offset_words += f.words
+        self._total_words = offset_words
+
+    @property
+    def nbytes(self) -> int:
+        """Total record size in bytes."""
+        return self._total_words * WORD_SIZE
+
+    @property
+    def words(self) -> int:
+        """Total record size in words."""
+        return self._total_words
+
+    def offset_words(self, field: str) -> int:
+        """Word offset of ``field`` from the start of the record."""
+        try:
+            return self._offsets[field]
+        except KeyError:
+            raise LayoutError(f"struct {self.name!r} has no field {field!r}") from None
+
+    def field(self, name: str) -> Field:
+        """The :class:`Field` named ``name``."""
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise LayoutError(f"struct {self.name!r} has no field {name!r}")
+
+    def field_words(self, region: Region, field: str) -> range:
+        """Word addresses of ``field`` within an instance at ``region``.
+
+        ``region`` must be at least one record long; the instance is assumed
+        to start at ``region.base``.
+        """
+        if region.words < self._total_words:
+            raise LayoutError(
+                f"region {region.name!r} ({region.words} words) too small for "
+                f"struct {self.name!r} ({self._total_words} words)")
+        f = self.field(field)
+        base = region.base + self._offsets[field]
+        return range(base, base + f.words)
+
+    def field_word(self, region: Region, field: str, index: int = 0) -> int:
+        """Single word address: the ``index``-th word of ``field``."""
+        words = self.field_words(region, field)
+        if not 0 <= index < len(words):
+            raise LayoutError(
+                f"word index {index} out of range for field {field!r} "
+                f"({len(words)} words)")
+        return words[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StructLayout({self.name!r}, {self.nbytes} bytes)"
+
+
+# ----------------------------------------------------------------------
+# Layouts taken from the paper's section 6 descriptions.
+# ----------------------------------------------------------------------
+
+#: MP3D particle: 36 bytes, finely interleaved among processors.  Position
+#: and velocity (3 floats each), the cell index and two scratch words.  A
+#: collision updates five words (20 bytes) of each colliding particle
+#: (velocity + scratch), matching "five words of the data structures of the
+#: two particles are updated".
+PARTICLE = StructLayout("particle", [
+    ("pos", 12),       # x, y, z position
+    ("vel", 12),       # x, y, z velocity
+    ("cell", 4),       # index of the containing space cell
+    ("scratch", 8),    # per-particle bookkeeping
+])
+
+#: MP3D space cell: 48 bytes.
+SPACE_CELL = StructLayout("space_cell", [
+    ("count", 4),        # particles currently in the cell
+    ("density", 8),      # accumulated density (double)
+    ("momentum", 24),    # 3 doubles
+    ("energy", 8),       # double
+    ("pad", 4),
+])
+
+#: WATER molecule: 680 bytes.  The inter-molecular force computation
+#: modifies nine double words (72 bytes) of the *other* molecule's record
+#: ("a part of the other molecule's data structure, corresponding to nine
+#: double words (72 bytes), is modified").
+WATER_MOLECULE = StructLayout("molecule", [
+    ("forces", 72),      # 9 doubles: modified during inter-molecular phase
+    ("positions", 216),  # 27 doubles: 3 atoms x 3 coords x 3 derivatives
+    ("velocities", 216),
+    ("accels", 144),
+    ("energy", 32),
+])
+
+#: ANL-macro barrier: a counter and a flag in consecutive memory words.
+#: The paper attributes false sharing at 8-byte blocks in JACOBI, WATER16
+#: and MP3D1000 to exactly this adjacency.
+ANL_BARRIER = StructLayout("anl_barrier", [
+    ("counter", 4),
+    ("flag", 4),
+])
+
+#: A simple spin lock occupies one word.
+ANL_LOCK = StructLayout("anl_lock", [
+    ("lockword", 4),
+])
+
+
+def padded_layout(layout: StructLayout, align_bytes: int) -> StructLayout:
+    """Return a copy of ``layout`` padded up to ``align_bytes``.
+
+    Used by the ablation benchmarks to show that padding the ANL barrier (or
+    the MP3D particle) removes the corresponding false-sharing component.
+    """
+    if align_bytes % WORD_SIZE:
+        raise LayoutError(f"bad alignment {align_bytes}")
+    pad = -layout.nbytes % align_bytes
+    fields = [(f.name, f.nbytes) for f in layout.fields]
+    if pad:
+        fields.append(("_pad", pad))
+    return StructLayout(layout.name + f"_padded{align_bytes}", fields)

@@ -1,0 +1,55 @@
+"""Invalidation-schedule simulators: MIN, OTF, RD, SD, SRD, WBWI, MAX,
+
+plus the finite-cache extension.  See paper section 4.0."""
+
+from .base import PROTOCOL_REGISTRY, Protocol, register
+from .finite import FiniteOTFProtocol
+from .lifetime import LifetimeTracker
+from .maxsched import MAXSchedule
+from .min_wt import MINProtocol
+from .otf import OTFProtocol
+from .rd import RDProtocol
+from .results import Counters, ProtocolResult
+from .runner import (
+    ALL_PROTOCOLS,
+    make_protocol,
+    protocol_names,
+    run_protocol,
+    run_protocols,
+)
+from .sd import SDProtocol
+from .sector import SectorProtocol, sector_sweep_sizes
+from .traffic import Traffic, TrafficModel, estimate_traffic, traffic_per_reference
+from .update import CUProtocol, WUProtocol
+from .srd import SRDProtocol
+from .wbwi import WBWIProtocol
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "Counters",
+    "FiniteOTFProtocol",
+    "LifetimeTracker",
+    "MAXSchedule",
+    "MINProtocol",
+    "OTFProtocol",
+    "PROTOCOL_REGISTRY",
+    "Protocol",
+    "ProtocolResult",
+    "RDProtocol",
+    "SDProtocol",
+    "SectorProtocol",
+    "SRDProtocol",
+    "CUProtocol",
+    "Traffic",
+    "TrafficModel",
+    "WBWIProtocol",
+    "WUProtocol",
+    "estimate_traffic",
+    "traffic_per_reference",
+    "make_protocol",
+    "protocol_names",
+    "register",
+    "run_protocol",
+    "run_protocols",
+    "sector_sweep_sizes",
+]

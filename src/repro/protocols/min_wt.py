@@ -1,0 +1,73 @@
+"""MIN — write-through with word invalidation (paper sections 2.2 and 4.0).
+
+The protocol that achieves exactly the essential miss rate of the trace:
+
+* every store is written through to memory, and the *word* address is sent
+  to every processor caching the block, where it is buffered (a dirty bit
+  per word of each cached block — the "invalidation buffer");
+* a local access to a word whose dirty bit is set invalidates the block
+  copy and triggers a miss (necessarily a true-sharing miss: the access
+  consumes a value defined remotely);
+* blocks never need ownership (write-through), so no ownership misses.
+
+The integration tests assert ``MIN misses == DuboisClassifier essential``
+on every workload — the two implementations are independent, so this is a
+strong cross-check of both (the paper: "its miss rate is the essential miss
+rate of the trace").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import Protocol, register
+
+
+@register
+class MINProtocol(Protocol):
+    """Write-through, word-invalidate, no ownership."""
+
+    name = "MIN"
+
+    def __init__(self, num_procs, block_map):
+        super().__init__(num_procs, block_map)
+        # pending[block]: per-processor word-offset masks of buffered word
+        # invalidations ("dirty bits"); None until the block sees a store.
+        self._pending: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _access(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        pending = self._pending.get(block)
+        if self.has_copy(proc, block):
+            if pending is not None and pending[proc] & (
+                    1 << self.block_map.word_offset(addr)):
+                # The accessed word has a buffered invalidation: invalidate
+                # the copy and take the (true sharing) miss.
+                self.drop_copy(proc, block)
+                pending[proc] = 0
+                self.fetch(proc, block)
+        else:
+            self.fetch(proc, block)
+            if pending is not None:
+                pending[proc] = 0
+        self.tracker.access(proc, addr)
+
+    def on_load(self, proc: int, addr: int) -> None:
+        self._access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        self._access(proc, addr)
+        block = self.block_map.block_of(addr)
+        offset_bit = 1 << self.block_map.word_offset(addr)
+        pending = self._pending.get(block)
+        if pending is None:
+            pending = [0] * self.num_procs
+            self._pending[block] = pending
+        # Write through, and buffer the word address at every remote copy.
+        self.counters.write_throughs += 1
+        others = self.copies_other_than(proc, block)
+        for q in self.iter_procs(others):
+            pending[q] |= offset_bit
+            self.counters.word_invalidations += 1
+        self.tracker.store_performed(proc, addr)

@@ -1,0 +1,39 @@
+"""OTF — the On-The-Fly write-invalidate protocol (paper section 4.0).
+
+Every reference is simulated one by one; a store invalidates all remote
+copies immediately.  This is "the miss rate usually derived when using
+trace-driven simulations" and the baseline every delayed schedule is
+compared against.
+
+A store to a block the processor already caches in shared state is an
+ownership upgrade, not a miss (infinite caches, no bus model); the remote
+copies are still invalidated.
+"""
+
+from __future__ import annotations
+
+from .base import Protocol, register
+
+
+@register
+class OTFProtocol(Protocol):
+    """Plain write-invalidate with immediate invalidations."""
+
+    name = "OTF"
+
+    def on_load(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+        # Invalidate every remote copy, ending those lifetimes now.
+        others = self.copies_other_than(proc, block)
+        if others:
+            for q in self.iter_procs(others):
+                self.counters.invalidations_sent += 1
+                self.drop_copy(q, block)
+        self.tracker.store_performed(proc, addr)

@@ -1,0 +1,71 @@
+"""RD — the Receive-Delayed protocol (paper section 4.0).
+
+"Invalidations are sent without delay and stored in an invalidation buffer
+when they are received.  When a processor executes an acquire all blocks
+for which there is a pending received invalidation are invalidated."
+
+Between the arrival of an invalidation and the next ``acquire``, the
+processor keeps reading its (legally, under release consistency) stale
+copy — the delay *combines* all invalidations received in that span into at
+most one miss per block, eliminating most useless misses.  Only one stale
+bit per cached block is required (vs. WBWI's dirty bit per word), which is
+why the paper recommends RD for systems that accept relaxed consistency.
+
+Ownership is still maintained: a store to a block with a locally pending
+invalidation has a stale copy and must re-fetch (ownership miss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .base import Protocol, register
+
+
+@register
+class RDProtocol(Protocol):
+    """Receive-delayed invalidations, applied at acquire."""
+
+    name = "RD"
+
+    def __init__(self, num_procs, block_map):
+        super().__init__(num_procs, block_map)
+        # pending[proc]: blocks with a buffered received invalidation.
+        self._pending = [set() for _ in range(num_procs)]
+
+    # ------------------------------------------------------------------
+    def on_load(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        # A pending invalidation does NOT block the load: the stale copy is
+        # legal to read until the next acquire.
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        pending = self._pending[proc]
+        if block in pending:
+            # Ownership: the writer must hold a current copy.  Apply the
+            # buffered invalidation and re-fetch.
+            self.counters.ownership_misses += 1
+            self.drop_copy(proc, block)
+            pending.discard(block)
+            self.fetch(proc, block)
+        else:
+            self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+        # Send invalidations immediately; receivers only buffer them.
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            qp = self._pending[q]
+            if block not in qp:
+                qp.add(block)
+            self.counters.invalidations_sent += 1
+        self.tracker.store_performed(proc, addr)
+
+    def on_acquire(self, proc: int, addr: int) -> None:
+        pending = self._pending[proc]
+        if pending:
+            for block in pending:
+                if self.has_copy(proc, block):
+                    self.drop_copy(proc, block)
+            pending.clear()

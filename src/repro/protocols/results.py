@@ -1,0 +1,100 @@
+"""Result and counter types for protocol simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..classify.breakdown import DuboisBreakdown
+
+
+@dataclass
+class Counters:
+    """Mutable event counters accumulated during a protocol run.
+
+    Not every field is meaningful for every protocol (e.g. only MIN counts
+    ``write_throughs``); unused fields stay zero.
+    """
+
+    #: Block fetches (== total misses, plus re-fetches after replacement).
+    fetches: int = 0
+    #: Block invalidations applied to a cache (copies destroyed).
+    invalidations_applied: int = 0
+    #: Invalidation messages sent (block granularity; one per remote copy).
+    invalidations_sent: int = 0
+    #: Word-invalidation messages (MIN/WBWI: one per word per remote copy).
+    word_invalidations: int = 0
+    #: Words written through to memory (MIN only).
+    write_throughs: int = 0
+    #: Misses forced purely by ownership (store to a non-owned block whose
+    #: local invalidation buffer is non-empty — section 2.2's "cost of
+    #: maintaining ownership").
+    ownership_misses: int = 0
+    #: Stores buffered at the sender (SD/SRD).
+    stores_buffered: int = 0
+    #: Buffered stores that were combined with an earlier buffered store to
+    #: the same block (SD/SRD send combining).
+    stores_combined: int = 0
+    #: Ownership (block) transfers.
+    ownership_transfers: int = 0
+    #: Cache replacements (finite-cache extension only).
+    replacements: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in (
+            "fetches", "invalidations_applied", "invalidations_sent",
+            "word_invalidations", "write_throughs", "ownership_misses",
+            "stores_buffered", "stores_combined", "ownership_transfers",
+            "replacements")}
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of running one protocol over one trace at one block size."""
+
+    protocol: str
+    trace_name: str
+    block_bytes: int
+    num_procs: int
+    #: Per-class miss decomposition (PC/CTS/CFS/PTS/PFS) with data_refs.
+    breakdown: DuboisBreakdown
+    counters: Counters
+    #: Replacement misses (finite-cache runs; 0 for infinite caches).
+    replacement_misses: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Total misses (coherence + cold + replacement)."""
+        return self.breakdown.total + self.replacement_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Total miss rate in percent of data references."""
+        refs = self.breakdown.data_refs
+        return 100.0 * self.misses / refs if refs else 0.0
+
+    @property
+    def cold_rate(self) -> float:
+        return self.breakdown.rate(self.breakdown.cold)
+
+    @property
+    def pts_rate(self) -> float:
+        return self.breakdown.rate(self.breakdown.pts)
+
+    @property
+    def pfs_rate(self) -> float:
+        return self.breakdown.rate(self.breakdown.pfs)
+
+    def fig6_bars(self) -> Dict[str, float]:
+        """The TRUE/COLD/FALSE/TOTAL series of the paper's Figure 6."""
+        return {"TRUE": self.pts_rate, "COLD": self.cold_rate,
+                "FALSE": self.pfs_rate, "TOTAL": self.miss_rate}
+
+    def describe(self) -> str:
+        b = self.breakdown
+        extra = ""
+        if self.replacement_misses:
+            extra = f" repl={self.replacement_misses}"
+        return (f"{self.protocol:5s} B={self.block_bytes:<5d} "
+                f"miss_rate={self.miss_rate:6.2f}%  misses={self.misses}"
+                f" (cold={b.cold} PTS={b.pts} PFS={b.pfs}{extra})")

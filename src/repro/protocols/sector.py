@@ -1,0 +1,108 @@
+"""Sector (sub-block) coherence — the paper's section 7 "line of thought".
+
+"Because of the discrepancy between the miss rates of WBWI and MIN ... it
+appears that any improvement will have to deal with the problem of block
+ownership.  This line of thought leads to systems with multiple block
+sizes, or even systems in which coherence is maintained on individual
+words."
+
+:class:`SectorProtocol` implements exactly that design space: data is
+*transferred* in blocks of ``block_map.block_bytes`` (one fetch fills the
+whole block) while *coherence* — validity, invalidation and ownership — is
+maintained on sub-blocks of ``sub_block_bytes``.  The two endpoints are
+the paper's protocols:
+
+* ``sub_block_bytes == block_bytes``  →  behaves exactly like OTF
+  (whole-block invalidation);
+* ``sub_block_bytes == 4`` (one word) →  behaves exactly like MIN
+  (word-granular invalidation, no whole-block ownership penalty).
+
+Sweeping the sub-block size therefore quantifies how much coherence
+granularity buys at each point between the two — the ablation in
+``benchmarks/bench_ablation_sector.py``.
+
+Not registered in the paper line-up (takes an extra parameter); construct
+it directly like :class:`~repro.protocols.finite.FiniteOTFProtocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from ..mem.addresses import BlockMap, is_power_of_two
+from ..trace.events import WORD_SIZE
+from .base import Protocol
+
+
+class SectorProtocol(Protocol):
+    """Block-granularity transfer, sub-block-granularity coherence."""
+
+    name = "SECTOR"
+
+    def __init__(self, num_procs: int, block_map: BlockMap,
+                 sub_block_bytes: int = 16):
+        super().__init__(num_procs, block_map)
+        if not is_power_of_two(sub_block_bytes) or sub_block_bytes < WORD_SIZE:
+            raise ConfigError(
+                f"sub-block size must be a power-of-two >= {WORD_SIZE}, "
+                f"got {sub_block_bytes}")
+        if sub_block_bytes > block_map.block_bytes:
+            raise ConfigError(
+                f"sub-block ({sub_block_bytes} B) larger than block "
+                f"({block_map.block_bytes} B)")
+        self.sub_block_bytes = sub_block_bytes
+        self._sub_map = BlockMap(sub_block_bytes)
+        self._subs_per_block = block_map.block_bytes // sub_block_bytes
+        # pending[block]: per-proc bitmask of invalidated sub-blocks.
+        self._pending: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _sub_bit(self, addr: int) -> int:
+        """Bit of the sub-block containing ``addr`` within its block."""
+        sub_index = (self.block_map.word_offset(addr)
+                     >> self._sub_map.offset_bits)
+        return 1 << sub_index
+
+    def _access(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        pending = self._pending.get(block)
+        if self.has_copy(proc, block):
+            if pending is not None and pending[proc] & self._sub_bit(addr):
+                # The accessed sub-block is invalid: refetch the whole
+                # block (sector transfer), clearing every pending sub.
+                self.drop_copy(proc, block)
+                pending[proc] = 0
+                self.fetch(proc, block)
+        else:
+            self.fetch(proc, block)
+            if pending is not None:
+                pending[proc] = 0
+        self.tracker.access(proc, addr)
+
+    # ------------------------------------------------------------------
+    def on_load(self, proc: int, addr: int) -> None:
+        self._access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        self._access(proc, addr)
+        block = self.block_map.block_of(addr)
+        pending = self._pending.get(block)
+        if pending is None:
+            pending = [0] * self.num_procs
+            self._pending[block] = pending
+        sub_bit = self._sub_bit(addr)
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            pending[q] |= sub_bit
+            self.counters.word_invalidations += 1
+        self.tracker.store_performed(proc, addr)
+
+
+def sector_sweep_sizes(block_bytes: int) -> List[int]:
+    """All legal sub-block sizes for a block size (4 .. block_bytes)."""
+    sizes = []
+    sub = WORD_SIZE
+    while sub <= block_bytes:
+        sizes.append(sub)
+        sub *= 2
+    return sizes

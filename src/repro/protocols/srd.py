@@ -1,0 +1,97 @@
+"""SRD — the Send and Receive Delayed protocol (paper section 4.0).
+
+Combines SD and RD: stores to non-owned blocks are buffered at the sender
+until its next ``release`` (send combining), and invalidations are buffered
+at each receiver until its next ``acquire`` (receive combining).  This is
+the most aggressive legal schedule under release consistency and the best
+protocol of the paper's Figure 6b — though still short of MIN at B=1024
+because ownership must be maintained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .base import Protocol, register
+
+
+@register
+class SRDProtocol(Protocol):
+    """Send-delayed + receive-delayed invalidations."""
+
+    name = "SRD"
+
+    def __init__(self, num_procs, block_map):
+        super().__init__(num_procs, block_map)
+        self._owner: Dict[int, Optional[int]] = {}
+        # Sender side: proc -> {block: buffered word addresses}.
+        self._store_buffer: List[Dict[int, Set[int]]] = [
+            dict() for _ in range(num_procs)]
+        # Receiver side: proc -> blocks with a pending received invalidation.
+        self._pending: List[Set[int]] = [set() for _ in range(num_procs)]
+
+    # ------------------------------------------------------------------
+    def on_load(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        # Reading a stale copy is legal until the next acquire.
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        pending = self._pending[proc]
+        if block in pending:
+            # Ownership: must write into a current copy.
+            self.counters.ownership_misses += 1
+            self.drop_copy(proc, block)
+            pending.discard(block)
+            self.fetch(proc, block)
+        else:
+            self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+        if self._owner.get(block) == proc:
+            self._perform_store(proc, block, (addr,))
+        else:
+            buffered = self._store_buffer[proc].setdefault(block, set())
+            if buffered:
+                self.counters.stores_combined += 1
+            buffered.add(addr)
+            self.counters.stores_buffered += 1
+
+    def on_acquire(self, proc: int, addr: int) -> None:
+        pending = self._pending[proc]
+        if pending:
+            for block in pending:
+                if self.has_copy(proc, block):
+                    self.drop_copy(proc, block)
+            pending.clear()
+
+    def on_release(self, proc: int, addr: int) -> None:
+        self._flush(proc)
+
+    def on_end(self) -> None:
+        for proc in range(self.num_procs):
+            self._flush(proc)
+
+    # ------------------------------------------------------------------
+    def _flush(self, proc: int) -> None:
+        buffer = self._store_buffer[proc]
+        if not buffer:
+            return
+        self._store_buffer[proc] = {}
+        for block, words in buffer.items():
+            self._perform_store(proc, block, sorted(words))
+
+    def _perform_store(self, proc: int, block: int, words) -> None:
+        """Perform stores: mark remote copies pending-invalid, own block."""
+        if self._owner.get(block) != proc:
+            if self._owner.get(block) is not None:
+                self.counters.ownership_transfers += 1
+            self._owner[block] = proc
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            qp = self._pending[q]
+            if block not in qp:
+                qp.add(block)
+            self.counters.invalidations_sent += 1
+        for w in words:
+            self.tracker.store_performed(proc, w)

@@ -1,0 +1,111 @@
+"""Update-based protocols (paper section 8.0, future work).
+
+"At this level of traffic, delayed write-broadcast or delayed protocols
+with competitive updates, which can reduce the number of essential misses,
+may become attractive."
+
+Two extension protocols beyond the paper's seven:
+
+WU (write-update / write-broadcast)
+    Stores never invalidate: every cached copy receives the new word.
+    Coherence misses disappear entirely — only cold misses remain, *below*
+    the write-invalidate essential rate (the essential rate is the minimum
+    for invalidation-based protocols; updates communicate without
+    re-fetching).  The price is a word-update message per sharer per
+    store, which is what made pure update protocols unattractive.
+
+CU (competitive update)
+    Like WU, but each cached copy self-invalidates after receiving
+    ``threshold`` consecutive updates without a local access (the classic
+    competitive-snooping rule).  Tunes between WU (threshold = infinity)
+    and invalidate-like behaviour (threshold = 1), trading update traffic
+    against misses.
+
+Both are registered (names "WU", "CU") but are not part of
+:data:`~repro.protocols.runner.ALL_PROTOCOLS` — they extend the paper's
+line-up rather than reproduce it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .base import Protocol, register
+
+
+@register
+class WUProtocol(Protocol):
+    """Write-update: stores broadcast the word to every cached copy."""
+
+    name = "WU"
+
+    def on_load(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self.tracker.access(proc, addr)
+        self.tracker.store_performed(proc, addr)
+        # Push the new word into every remote copy: those caches now hold
+        # the current value, so the update *delivers* it (the tracker's
+        # known-version bookkeeping), costing one word message per sharer.
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            self.counters.write_throughs += 1
+            self.tracker.deliver_word(q, addr)
+
+
+@register
+class CUProtocol(Protocol):
+    """Competitive update: update until ``threshold`` unused updates, then
+
+    self-invalidate the copy."""
+
+    name = "CU"
+
+    #: Default competitive threshold (classic snoopy-competitive value 4).
+    DEFAULT_THRESHOLD = 4
+
+    def __init__(self, num_procs, block_map, threshold: int = DEFAULT_THRESHOLD):
+        super().__init__(num_procs, block_map)
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        # unused_updates[block]: per-proc count of updates received since
+        # the processor last touched the block.
+        self._unused: Dict[int, List[int]] = {}
+
+    def _touch(self, proc: int, block: int) -> None:
+        row = self._unused.get(block)
+        if row is not None:
+            row[proc] = 0
+
+    def on_load(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self._touch(proc, block)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        self.ensure_copy(proc, block)
+        self._touch(proc, block)
+        self.tracker.access(proc, addr)
+        self.tracker.store_performed(proc, addr)
+        row = self._unused.get(block)
+        if row is None:
+            row = [0] * self.num_procs
+            self._unused[block] = row
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            row[q] += 1
+            if row[q] >= self.threshold:
+                # Competitive rule: this copy is not being used — stop
+                # paying update traffic and drop it.
+                self.drop_copy(q, block)
+                row[q] = 0
+            else:
+                self.counters.write_throughs += 1
+                self.tracker.deliver_word(q, addr)

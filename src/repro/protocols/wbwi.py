@@ -1,0 +1,91 @@
+"""WBWI — write-back with word invalidate (paper sections 2.2 and 4.0).
+
+Identical to MIN for loads (a dirty bit per word; a local access to a
+word-invalidated word misses), but write-back: a store requires *ownership*
+of the block.  Per section 2.2: "Stores accessing non-owned blocks with a
+pending invalidation for ANY one of its words in the local invalidation
+buffer must trigger a miss.  These additional misses are the cost of
+maintaining ownership."
+
+WBWI − MIN therefore isolates the ownership cost, which the paper finds
+negligible at B=64 and large at B=1024 (Figure 6); the ablation benchmark
+``bench_ablation_ownership.py`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import Protocol, register
+
+
+@register
+class WBWIProtocol(Protocol):
+    """Write-back word-invalidate with block ownership."""
+
+    name = "WBWI"
+
+    def __init__(self, num_procs, block_map):
+        super().__init__(num_procs, block_map)
+        self._pending: Dict[int, List[int]] = {}
+        # owner[block]: processor id owning the block, or None.
+        self._owner: Dict[int, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _load_like_access(self, proc: int, addr: int) -> None:
+        """MIN-style access: miss on absent copy or word-invalidated word."""
+        block = self.block_map.block_of(addr)
+        pending = self._pending.get(block)
+        if self.has_copy(proc, block):
+            if pending is not None and pending[proc] & (
+                    1 << self.block_map.word_offset(addr)):
+                self.drop_copy(proc, block)
+                pending[proc] = 0
+                self.fetch(proc, block)
+        else:
+            self.fetch(proc, block)
+            if pending is not None:
+                pending[proc] = 0
+
+    def on_load(self, proc: int, addr: int) -> None:
+        self._load_like_access(proc, addr)
+        self.tracker.access(proc, addr)
+
+    def on_store(self, proc: int, addr: int) -> None:
+        block = self.block_map.block_of(addr)
+        pending = self._pending.get(block)
+        if self.has_copy(proc, block):
+            word_bit = 1 << self.block_map.word_offset(addr)
+            mine = pending[proc] if pending is not None else 0
+            if mine & word_bit:
+                # Accessing an invalidated word: ordinary MIN-style miss.
+                self.drop_copy(proc, block)
+                pending[proc] = 0
+                self.fetch(proc, block)
+            elif mine and self._owner.get(block) != proc:
+                # Ownership rule: storing to a non-owned block whose local
+                # buffer holds a pending invalidation for ANY word forces a
+                # miss — the pure cost of maintaining ownership.
+                self.counters.ownership_misses += 1
+                self.drop_copy(proc, block)
+                pending[proc] = 0
+                self.fetch(proc, block)
+        else:
+            self.fetch(proc, block)
+            if pending is not None:
+                pending[proc] = 0
+        self.tracker.access(proc, addr)
+
+        if self._owner.get(block) != proc:
+            if self._owner.get(block) is not None:
+                self.counters.ownership_transfers += 1
+            self._owner[block] = proc
+        # Propagate the word invalidation to every remote copy.
+        if pending is None:
+            pending = [0] * self.num_procs
+            self._pending[block] = pending
+        offset_bit = 1 << self.block_map.word_offset(addr)
+        for q in self.iter_procs(self.copies_other_than(proc, block)):
+            pending[q] |= offset_bit
+            self.counters.word_invalidations += 1
+        self.tracker.store_performed(proc, addr)

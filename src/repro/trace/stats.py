@@ -1,0 +1,85 @@
+"""Benchmark-characteristic statistics (paper Table 2).
+
+Table 2 reports, per benchmark: speedup (with a perfect single-cycle memory
+system), writes, reads, acquire/release count, and data-set size.  The
+speedup and data-set size come from the workload generator (stored in
+``trace.meta`` by :mod:`repro.execution`), the rest are counted from the
+trace itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class BenchmarkStats:
+    """One row of Table 2."""
+
+    name: str
+    num_procs: int
+    reads: int
+    writes: int
+    acquires: int
+    releases: int
+    #: Simulated data-set size in bytes (allocator high-water mark), if known.
+    data_set_bytes: Optional[int]
+    #: Parallel-section speedup with single-cycle memory, if known.
+    speedup: Optional[float]
+
+    @property
+    def data_refs(self) -> int:
+        """Total data references (miss-rate denominator)."""
+        return self.reads + self.writes
+
+    @property
+    def acq_rel(self) -> int:
+        """Combined acquire+release count (the paper reports one column)."""
+        return self.acquires + self.releases
+
+    @property
+    def data_set_kb(self) -> Optional[float]:
+        return None if self.data_set_bytes is None else self.data_set_bytes / 1024.0
+
+    def as_row(self) -> dict:
+        """Column mapping used by the Table 2 report builder."""
+        return {
+            "BENCHMARK": self.name,
+            "SPEEDUP": "-" if self.speedup is None else f"{self.speedup:.1f}",
+            "WRITES (000's)": f"{self.writes / 1000:.1f}",
+            "READS (000's)": f"{self.reads / 1000:.1f}",
+            "ACQ/REL (000's)": f"{self.acq_rel / 1000:.1f}",
+            "DATA SET (KB)": ("-" if self.data_set_kb is None
+                              else f"{self.data_set_kb:.0f}"),
+        }
+
+
+def benchmark_stats(trace: Trace) -> BenchmarkStats:
+    """Compute a :class:`BenchmarkStats` row from a trace.
+
+    The workload generators store ``data_set_bytes`` and ``cycles`` (the
+    number of simulated machine cycles of the parallel section under a
+    perfect memory system) in ``trace.meta``; speedup is then
+    ``data_refs_total / cycles`` — the same definition the paper uses
+    ("the speedup derivation assumes a perfect memory system").
+    """
+    counts = trace.counts()
+    cycles = trace.meta.get("cycles")
+    speedup = None
+    if cycles:
+        # Every event costs one cycle on its processor; a perfect
+        # sequential execution would take `total events` cycles.
+        speedup = counts.total / cycles
+    return BenchmarkStats(
+        name=trace.name or "<anonymous>",
+        num_procs=trace.num_procs,
+        reads=counts.loads,
+        writes=counts.stores,
+        acquires=counts.acquires,
+        releases=counts.releases,
+        data_set_bytes=trace.meta.get("data_set_bytes"),
+        speedup=speedup,
+    )

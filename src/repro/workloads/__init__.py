@@ -1,0 +1,36 @@
+"""Benchmark workload generators (MP3D, WATER, LU, JACOBI + extras)."""
+
+from .base import Workload, split_round_robin
+from .fft import FFT
+from .jacobi import Jacobi
+from .lu import LU
+from .matmul import MatMul
+from .mp3d import MP3D
+from .sor import SOR
+from .registry import (
+    LARGE_SUITE,
+    NAMED_CONFIGS,
+    PAPER_LARGE_SUITE,
+    SMALL_SUITE,
+    make_workload,
+    suite,
+)
+from .water import Water
+
+__all__ = [
+    "FFT",
+    "Jacobi",
+    "LARGE_SUITE",
+    "LU",
+    "MatMul",
+    "MP3D",
+    "NAMED_CONFIGS",
+    "SOR",
+    "PAPER_LARGE_SUITE",
+    "SMALL_SUITE",
+    "Water",
+    "Workload",
+    "make_workload",
+    "split_round_robin",
+    "suite",
+]

@@ -1,0 +1,79 @@
+"""FFT — staged radix-2 transform (supplementary workload).
+
+Like MATMUL, a non-iterative algorithm the paper cites (section 3.1) as
+breaking Torrellas' first-touch cold-miss rule.  Also a useful stress for
+the delayed protocols: each butterfly stage reads a partner element at a
+stride that halves every stage, so the sharing pattern sweeps from
+long-range (all cross-processor) to neighbour-range (mostly local, block
+false sharing at partition edges).
+
+Race-freedom uses the Jacobi trick: stages alternate between two arrays
+(read source, write destination) with a barrier per stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from ..execution import ops
+from ..execution.primitives import Barrier
+from ..mem.allocator import Allocator
+from ..mem.addresses import is_power_of_two
+from .base import Workload
+
+
+class FFT(Workload):
+    """Radix-2 FFT over ``n`` complex points (``n`` a power of two).
+
+    Points are 4 words (two double-precision components).  Point ``i`` is
+    owned by processor ``i // (n / num_procs)`` (contiguous chunks).
+    """
+
+    name = "fft"
+
+    def __init__(self, n: int = 256, *, num_procs: int = 16, seed: int = 0):
+        super().__init__(num_procs=num_procs, seed=seed)
+        if not is_power_of_two(n):
+            raise ConfigError(f"FFT size must be a power of two, got {n}")
+        if n < num_procs:
+            raise ConfigError(f"FFT size {n} smaller than {num_procs} processors")
+        self.n = n
+
+    @property
+    def label(self) -> str:
+        return f"FFT{self.n}"
+
+    ELEM_WORDS = 4  # complex double: re + im
+
+    def build_threads(self, allocator: Allocator) -> List:
+        n, ew = self.n, self.ELEM_WORDS
+        src = allocator.alloc_words("fft.src", n * ew)
+        dst = allocator.alloc_words("fft.dst", n * ew)
+        barrier = Barrier("fft.barrier", allocator, self.num_procs)
+        bases = (src.base, dst.base)
+        chunk = n // self.num_procs
+        stages = n.bit_length() - 1
+
+        def elem(base: int, i: int) -> range:
+            return range(base + i * ew, base + (i + 1) * ew)
+
+        def thread(tid: int) -> Iterator:
+            lo, hi = tid * chunk, (tid + 1) * chunk
+            # Initialization: each processor fills its own chunk.
+            yield from ops.store_words(range(src.base + lo * ew,
+                                             src.base + hi * ew))
+            yield from barrier.wait(tid)
+            for stage in range(stages):
+                rd = bases[stage % 2]
+                wr = bases[1 - stage % 2]
+                stride = n >> (stage + 1)
+                for i in range(lo, hi):
+                    partner = i ^ stride
+                    yield from ops.load_words(elem(rd, i))
+                    yield from ops.load_words(elem(rd, partner))
+                    yield from ops.store_words(elem(wr, i))
+                yield from barrier.wait(tid)
+            return
+
+        return [thread(tid) for tid in range(self.num_procs)]

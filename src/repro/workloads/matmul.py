@@ -1,0 +1,74 @@
+"""MATMUL — blocked matrix multiply (supplementary workload).
+
+Not one of the paper's four traced benchmarks, but the paper names matrix
+multiply (with FFT) as a class of "important parallel algorithms" where
+words are accessed essentially once — exactly the programs on which
+Torrellas' word-granular first-touch cold-miss rule degenerates ("the
+classification is only applicable to iterative algorithms in which words
+are accessed more than once", section 3.1).  The classifier-comparison
+benchmark uses it to demonstrate that failure mode quantitatively.
+
+C = A x B with C rows interleaved over processors; A and B are read-shared,
+C words are each written once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from ..execution import ops
+from ..execution.primitives import Barrier
+from ..mem.allocator import Allocator
+from .base import Workload, split_round_robin
+
+
+class MatMul(Workload):
+    """``n`` x ``n`` matrix multiply, row-interleaved output."""
+
+    name = "matmul"
+
+    def __init__(self, n: int = 24, *, elem_words: int = 1,
+                 num_procs: int = 16, seed: int = 0):
+        super().__init__(num_procs=num_procs, seed=seed)
+        if n < 1:
+            raise ConfigError(f"matrix dimension must be >= 1, got {n}")
+        if elem_words < 1:
+            raise ConfigError(f"elem_words must be >= 1, got {elem_words}")
+        self.n = n
+        self.elem_words = elem_words
+
+    @property
+    def label(self) -> str:
+        return f"MATMUL{self.n}"
+
+    def build_threads(self, allocator: Allocator) -> List:
+        n, ew = self.n, self.elem_words
+        a = allocator.alloc_words("matmul.A", n * n * ew)
+        b = allocator.alloc_words("matmul.B", n * n * ew)
+        c = allocator.alloc_words("matmul.C", n * n * ew)
+        barrier = Barrier("matmul.barrier", allocator, self.num_procs)
+
+        def elem(base: int, i: int, j: int) -> int:
+            return base + (i * n + j) * ew
+
+        def thread(tid: int) -> Iterator:
+            # Initialization phase: processor 0 fills A and B (their values
+            # then flow to everyone — cold/CTS traffic), everyone waits.
+            if tid == 0:
+                yield from ops.store_words(range(a.base, a.end))
+                yield from ops.store_words(range(b.base, b.end))
+            yield from barrier.wait(tid)
+            for i in split_round_robin(n, self.num_procs, tid):
+                for j in range(n):
+                    for k in range(n):
+                        yield from ops.load_words(
+                            range(elem(a.base, i, k), elem(a.base, i, k) + ew))
+                        yield from ops.load_words(
+                            range(elem(b.base, k, j), elem(b.base, k, j) + ew))
+                    yield from ops.store_words(
+                        range(elem(c.base, i, j), elem(c.base, i, j) + ew))
+            yield from barrier.wait(tid)
+            return
+
+        return [thread(tid) for tid in range(self.num_procs)]

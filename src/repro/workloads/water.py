@@ -1,0 +1,128 @@
+"""WATER — N-body molecular dynamics of liquid water (paper sections 5.0/6.0).
+
+"WATER performs an N-body molecular dynamics simulation ...  each processor
+updates its objects in each iteration (time step).  Interactions of its
+molecules with other molecules involve modifying the data structures of the
+other molecules."
+
+Sharing structure reproduced here (paper section 6.0):
+
+* molecule records of exactly 680 bytes, consecutively allocated with
+  adjacent molecules owned by different processors — false sharing grows
+  as the block size approaches the record size;
+* the inter-molecular force computation modifies nine double words
+  (72 bytes — the ``forces`` field) of the *other* molecule's record, under
+  that molecule's lock, giving the true-sharing component that "decreases
+  rapidly up until a block size of 128 bytes";
+* per-molecule ANL locks packed adjacently (sync-word sharing at B=8);
+* barriers between the intra-molecular, inter-molecular and integration
+  phases of each time step.
+
+Each molecule interacts with the following ``n/2`` molecules (the standard
+WATER half-shell scheme), so with molecules interleaved over processors
+most interactions are cross-processor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ConfigError
+from ..execution import ops
+from ..execution.primitives import Barrier, Lock
+from ..mem.allocator import Allocator
+from ..mem.layout import WATER_MOLECULE
+from .base import Workload, split_round_robin
+
+
+class Water(Workload):
+    """WATER with ``num_molecules`` molecules.
+
+    Parameters
+    ----------
+    num_molecules:
+        Molecule count (paper: 16 and 288; keep small — work per step is
+        quadratic).
+    time_steps:
+        Number of time steps.
+    """
+
+    name = "water"
+
+    def __init__(self, num_molecules: int = 16, time_steps: int = 3, *,
+                 num_procs: int = 16, seed: int = 0):
+        super().__init__(num_procs=num_procs, seed=seed)
+        if num_molecules < 2:
+            raise ConfigError(
+                f"need at least 2 molecules, got {num_molecules}")
+        if time_steps < 1:
+            raise ConfigError(f"time_steps must be >= 1, got {time_steps}")
+        self.num_molecules = num_molecules
+        self.time_steps = time_steps
+
+    @property
+    def label(self) -> str:
+        return f"WATER{self.num_molecules}"
+
+    # ------------------------------------------------------------------
+    def build_threads(self, allocator: Allocator) -> List:
+        n = self.num_molecules
+        molecules = allocator.alloc_array("water.molecule", n,
+                                          WATER_MOLECULE.nbytes)
+        locks = [Lock(f"water.mollock[{m}]", allocator) for m in range(n)]
+        barrier = Barrier("water.barrier", allocator, self.num_procs)
+
+        def intra(m: int) -> Iterator:
+            """Intra-molecular phase: owner-only computation on one record."""
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[m], "positions"))
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[m], "velocities"))
+            yield from ops.store_words(
+                WATER_MOLECULE.field_words(molecules[m], "accels"))
+
+        def interact(m: int, other: int, tid: int) -> Iterator:
+            """Inter-molecular pair force: read both, update both force fields."""
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[m], "positions"))
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[other], "positions"))
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[other], "velocities"))
+            first, second = sorted((m, other))
+            yield from locks[first].acquire(tid)
+            yield from locks[second].acquire(tid)
+            for w in WATER_MOLECULE.field_words(molecules[m], "forces"):
+                yield from ops.read_modify_write(w)
+            for w in WATER_MOLECULE.field_words(molecules[other], "forces"):
+                yield from ops.read_modify_write(w)
+            yield from locks[second].release(tid)
+            yield from locks[first].release(tid)
+
+        def integrate(m: int) -> Iterator:
+            """Integration phase: fold forces into positions (owner only)."""
+            yield from ops.load_words(
+                WATER_MOLECULE.field_words(molecules[m], "forces"))
+            yield from ops.store_words(
+                WATER_MOLECULE.field_words(molecules[m], "positions"))
+            yield from ops.store_words(
+                WATER_MOLECULE.field_words(molecules[m], "energy"))
+
+        half = n // 2
+
+        def thread(tid: int) -> Iterator:
+            mine = list(split_round_robin(n, self.num_procs, tid))
+            for _ in range(self.time_steps):
+                for m in mine:
+                    yield from intra(m)
+                yield from barrier.wait(tid)
+                for m in mine:
+                    for k in range(1, half + 1):
+                        yield from interact(m, (m + k) % n, tid)
+                yield from barrier.wait(tid)
+                for m in mine:
+                    yield from integrate(m)
+                yield from barrier.wait(tid)
+            return
+
+        return [thread(tid) for tid in range(self.num_procs)]

@@ -1,0 +1,135 @@
+"""Shared fixtures: small deterministic traces and scaled-down workloads.
+
+Workload fixtures are session-scoped (generation is the expensive part) and
+deliberately smaller than the benchmark configurations — unit tests need
+structure, not scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import TraceBuilder
+from repro.trace.synth import (
+    false_sharing_pingpong,
+    migratory,
+    producer_consumer,
+    uniform_random,
+)
+from repro.workloads import FFT, Jacobi, LU, MP3D, MatMul, Water
+
+
+# ----------------------------------------------------------------------
+# the paper's hand traces (Figures 1-4)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig1_trace():
+    """Figure 1: words 0 and 1 share a two-word block."""
+    return (TraceBuilder(2)
+            .store(0, 0)   # T0: P1 Store 0
+            .load(1, 0)    # T1: P2 Load 0  (INV of nothing; CTS)
+            .store(0, 1)   # T2: P1 Store 1
+            .load(1, 1)    # T3: P2 Load 1
+            .build("fig1"))
+
+
+@pytest.fixture
+def fig2_traces():
+    """Figure 2: two equivalent interleavings with different essential counts."""
+    eager = (TraceBuilder(2)
+             .store(0, 0).store(0, 1).load(1, 0).load(1, 1).build("fig2-eager"))
+    delayed = (TraceBuilder(2)
+               .store(0, 0).load(1, 0).store(0, 1).load(1, 1).build("fig2-delayed"))
+    return eager, delayed
+
+
+@pytest.fixture
+def fig3_trace():
+    """Figure 3: the CFS example; T5 is PTS for us, FSM for Eggers/Torrellas."""
+    return (TraceBuilder(2)
+            .store(0, 1)   # T0: P1 Store 1 -> PC
+            .load(1, 0)    # T1: P2 Load 0 -> CM/CM/CFS
+            .load(0, 1)    # T2: P1 Load 1 (hit)
+            .load(0, 0)    # T3: P1 Load 0 (hit)
+            .store(1, 0)   # T4: P2 Store 0 (INV P1)
+            .load(0, 1)    # T5: P1 Load 1 -> FSM/FSM/PTS
+            .load(0, 0)    # T6: P1 Load 0 (hit)
+            .build("fig3"))
+
+
+@pytest.fixture
+def fig4_trace():
+    """Figure 4: Eggers vs Torrellas differences."""
+    return (TraceBuilder(2)
+            .load(0, 1)    # T0: P1 Load 1 -> CM/CM/PC
+            .load(1, 0)    # T1: P2 Load 0 -> CM/CM/PC
+            .store(1, 1)   # T2: P2 Store 1 (INV P1)
+            .load(0, 0)    # T3: P1 Load 0 -> CM/FSM/PFS
+            .store(1, 0)   # T4: P2 Store 0 (INV P1)
+            .load(0, 1)    # T5: P1 Load 1 -> TSM/FSM/PTS
+            .load(0, 0)    # T6: P1 Load 0 (hit)
+            .build("fig4"))
+
+
+# ----------------------------------------------------------------------
+# synthetic patterns
+# ----------------------------------------------------------------------
+@pytest.fixture
+def pingpong_trace():
+    return false_sharing_pingpong(4, rounds=25)
+
+
+@pytest.fixture
+def producer_trace():
+    return producer_consumer(4, words=16, rounds=8)
+
+
+@pytest.fixture
+def migratory_trace():
+    return migratory(4, words=8, rounds=20)
+
+
+@pytest.fixture
+def random_trace():
+    return uniform_random(6, words=128, num_events=3000, seed=7)
+
+
+# ----------------------------------------------------------------------
+# scaled-down workloads (session-scoped: generated once)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def lu_trace():
+    return LU(12, num_procs=4).generate()
+
+
+@pytest.fixture(scope="session")
+def jacobi_trace():
+    return Jacobi(16, iterations=3, num_procs=4).generate()
+
+
+@pytest.fixture(scope="session")
+def mp3d_trace():
+    return MP3D(40, num_cells=16, time_steps=4, num_procs=4, seed=2).generate()
+
+
+@pytest.fixture(scope="session")
+def water_trace():
+    return Water(8, time_steps=2, num_procs=4).generate()
+
+
+@pytest.fixture(scope="session")
+def matmul_trace():
+    return MatMul(10, num_procs=4).generate()
+
+
+@pytest.fixture(scope="session")
+def fft_trace():
+    return FFT(64, num_procs=4).generate()
+
+
+@pytest.fixture(scope="session")
+def workload_traces(lu_trace, jacobi_trace, mp3d_trace, water_trace,
+                    matmul_trace, fft_trace):
+    """All scaled workload traces, keyed by family name."""
+    return {"lu": lu_trace, "jacobi": jacobi_trace, "mp3d": mp3d_trace,
+            "water": water_trace, "matmul": matmul_trace, "fft": fft_trace}

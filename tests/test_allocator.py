@@ -1,0 +1,126 @@
+"""Unit tests for the bump allocator."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.mem.allocator import Allocator, Region
+
+
+class TestRegion:
+    def test_end_and_nbytes(self):
+        r = Region("r", base=4, words=3)
+        assert r.end == 7
+        assert r.nbytes == 12
+
+    def test_word_indexing(self):
+        r = Region("r", base=4, words=3)
+        assert r.word(0) == 4 and r.word(2) == 6
+        with pytest.raises(LayoutError):
+            r.word(3)
+        with pytest.raises(LayoutError):
+            r.word(-1)
+
+    def test_contains(self):
+        r = Region("r", base=4, words=3)
+        assert 4 in r and 6 in r
+        assert 3 not in r and 7 not in r
+
+
+class TestAllocator:
+    def test_sequential_packing(self):
+        a = Allocator()
+        r1 = a.alloc_bytes("a", 8)
+        r2 = a.alloc_bytes("b", 4)
+        assert r1.base == 0 and r1.words == 2
+        assert r2.base == 2, "no padding between word-aligned allocations"
+
+    def test_rounds_partial_words_up(self):
+        a = Allocator()
+        r = a.alloc_bytes("p", 36)
+        assert r.words == 9
+
+    def test_alignment(self):
+        a = Allocator()
+        a.alloc_bytes("x", 4)
+        r = a.alloc_bytes("aligned", 8, align_bytes=64)
+        assert r.base == 16  # 64 bytes = 16 words
+
+    def test_bad_alignment_rejected(self):
+        a = Allocator()
+        with pytest.raises(LayoutError):
+            a.alloc_bytes("x", 4, align_bytes=6)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(LayoutError):
+            Allocator().alloc_bytes("x", 0)
+
+    def test_duplicate_names_rejected(self):
+        a = Allocator()
+        a.alloc_bytes("x", 4)
+        with pytest.raises(LayoutError):
+            a.alloc_bytes("x", 4)
+
+    def test_base_word_offset(self):
+        a = Allocator(base_word=100)
+        assert a.alloc_bytes("x", 4).base == 100
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(LayoutError):
+            Allocator(base_word=-1)
+
+    def test_used_accounting(self):
+        a = Allocator()
+        a.alloc_bytes("x", 36)
+        a.alloc_bytes("y", 4)
+        assert a.used_words == 10
+        assert a.used_bytes == 40
+
+    def test_pad_to(self):
+        a = Allocator()
+        a.alloc_bytes("x", 4)
+        a.pad_to(32)
+        assert a.alloc_bytes("y", 4).base == 8
+
+    def test_region_lookup(self):
+        a = Allocator()
+        r = a.alloc_bytes("x", 8)
+        assert a.region("x") is r
+        with pytest.raises(LayoutError):
+            a.region("missing")
+
+    def test_owner_of(self):
+        a = Allocator()
+        r1 = a.alloc_bytes("x", 8)
+        r2 = a.alloc_bytes("y", 8)
+        assert a.owner_of(0) is r1
+        assert a.owner_of(2) is r2
+        assert a.owner_of(99) is None
+
+
+class TestAllocArray:
+    def test_elements_are_contiguous_and_packed(self):
+        a = Allocator()
+        elems = a.alloc_array("particle", 3, 36)
+        assert [e.base for e in elems] == [0, 9, 18]
+        assert all(e.words == 9 for e in elems)
+        assert elems[1].name == "particle[1]"
+
+    def test_paper_false_sharing_layout(self):
+        """36-byte particles straddle 32-byte blocks — the MP3D effect."""
+        from repro.mem import BlockMap
+        a = Allocator()
+        elems = a.alloc_array("p", 4, 36)
+        bm = BlockMap(32)
+        # particle 1 (words 9..17) spans blocks 1 and 2; particle 2 starts
+        # inside block 2: adjacent particles share a block.
+        assert bm.block_of(elems[1].end - 1) == bm.block_of(elems[2].base)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(LayoutError):
+            Allocator().alloc_array("p", 0, 4)
+
+    def test_regions_lists_top_level_only(self):
+        a = Allocator()
+        a.alloc_array("p", 3, 4)
+        names = [r.name for r in a.regions]
+        assert names == ["p"], "per-element regions are views, not allocations"

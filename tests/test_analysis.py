@@ -1,0 +1,160 @@
+"""Unit tests for the analysis package: report rendering, sweeps, tables,
+
+figures and invariants."""
+
+import pytest
+
+from repro.analysis.figures import figure5, figure6
+from repro.analysis.invariants import (
+    check_all,
+    check_block_size_monotonicity,
+    check_cold_agreement_ours_eggers,
+    check_eggers_tsm_subset_torrellas,
+    check_min_is_essential,
+    check_protocol_ordering,
+    check_total_miss_agreement,
+)
+from repro.analysis.report import format_bars, format_stacked_bars, format_table
+from repro.analysis.sweep import sweep_block_sizes, sweep_comparisons
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    build_table1,
+    build_table2,
+    format_table1,
+    format_table2,
+)
+from repro.classify import MissClass, compare_classifications
+from repro.protocols import run_protocol, run_protocols
+from repro.trace.synth import producer_consumer, uniform_random
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return uniform_random(4, words=128, num_events=3000, seed=21)
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "x"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "----" in lines[2]
+        assert lines[3].startswith("a ")
+
+    def test_format_bars(self):
+        text = format_bars({"OTF": 4.0, "MIN": 2.0}, width=8)
+        assert "########" in text
+        assert "####" in text
+
+    def test_format_bars_empty(self):
+        assert format_bars({}, title="t") == "t"
+
+    def test_format_bars_zero_values(self):
+        text = format_bars({"A": 0.0})
+        assert "A" in text
+
+    def test_stacked_bars_legend(self):
+        text = format_stacked_bars(
+            {"OTF": {"TRUE": 1.0, "COLD": 1.0, "FALSE": 2.0}})
+        assert "legend" in text
+        assert "T=TRUE" in text
+
+    def test_stacked_bars_totals(self):
+        text = format_stacked_bars({"X": {"A": 1.5, "B": 0.5}})
+        assert "2.00%" in text
+
+
+class TestSweep:
+    def test_sweep_default_sizes(self, trace):
+        sw = sweep_block_sizes(trace)
+        assert sw.block_sizes == (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+        assert len(sw.breakdowns) == 9
+
+    def test_series_lengths(self, trace):
+        sw = sweep_block_sizes(trace, [4, 16])
+        assert len(sw.series(MissClass.PTS)) == 2
+        assert len(sw.essential_series()) == 2
+        assert len(sw.total_series()) == 2
+
+    def test_at(self, trace):
+        sw = sweep_block_sizes(trace, [4, 16])
+        assert sw.at(16) is sw.breakdowns[1]
+
+    def test_format_contains_rows(self, trace):
+        text = sweep_block_sizes(trace, [4, 8]).format()
+        assert "PTS" in text and "essential%" in text
+
+    def test_sweep_comparisons(self, trace):
+        cmps = sweep_comparisons(trace, [8, 32])
+        assert set(cmps) == {8, 32}
+        assert cmps[8].block_bytes == 8
+
+
+class TestTables:
+    def test_table1_builder_and_render(self, trace):
+        comparisons = build_table1([trace], block_sizes=(8, 64))
+        assert (trace.name, 8) in comparisons
+        text = format_table1(comparisons)
+        for row in TABLE1_ROWS:
+            assert row in text
+
+    def test_table2_builder_and_render(self, lu_trace):
+        stats = build_table2([lu_trace])
+        text = format_table2(stats)
+        assert "BENCHMARK" in text and "LU12" in text
+
+
+class TestFigures:
+    def test_figure5_panels(self, lu_trace):
+        panels = figure5([lu_trace], block_sizes=[8, 32])
+        panel = panels["LU12"]
+        series = panel.series()
+        assert set(series) == {"PC", "CTS", "CFS", "PTS", "PFS"}
+        assert "LU12" in panel.format()
+
+    def test_figure6_panels(self, trace):
+        panels = figure6([trace], 16, protocols=["MIN", "OTF"])
+        panel = panels[trace.name]
+        assert set(panel.results) == {"MIN", "OTF"}
+        assert panel.totals()["OTF"] >= panel.totals()["MIN"]
+        assert "B=16" in panel.format()
+        assert "ownership" in panel.format_table()
+
+    def test_figure6_bars_shape(self, trace):
+        panels = figure6([trace], 16, protocols=["OTF"])
+        bars = panels[trace.name].bars()["OTF"]
+        assert set(bars) == {"TRUE", "COLD", "FALSE"}
+
+
+class TestInvariants:
+    def test_monotonicity_holds_on_real_traces(self, trace):
+        assert check_block_size_monotonicity(sweep_block_sizes(trace)) == []
+
+    def test_monotonicity_detects_violation(self):
+        from repro.analysis.sweep import SweepResult
+        from repro.classify.breakdown import DuboisBreakdown
+        bad = SweepResult(
+            trace_name="bad", block_sizes=(4, 8),
+            breakdowns=(DuboisBreakdown(1, 0, 0, 0, 0, 10),
+                        DuboisBreakdown(2, 0, 0, 0, 0, 10)))
+        assert check_block_size_monotonicity(bad)
+
+    def test_min_is_essential(self, trace):
+        r = run_protocol("MIN", trace, 16)
+        assert check_min_is_essential(trace, r) == []
+
+    def test_protocol_ordering_clean_trace(self):
+        t = producer_consumer(4, words=16, rounds=5)
+        res = run_protocols(t, 16, ["MIN", "OTF", "WBWI", "MAX"])
+        assert check_protocol_ordering(res, synchronized=False) == []
+
+    def test_classifier_invariants(self, trace):
+        cmp8 = compare_classifications(trace, 8)
+        assert check_eggers_tsm_subset_torrellas(trace, 8) == []
+        assert check_total_miss_agreement(cmp8) == []
+        assert check_cold_agreement_ours_eggers(cmp8) == []
+
+    def test_check_all_aggregates(self, trace):
+        sw = sweep_block_sizes(trace, [8, 32])
+        cmps = [compare_classifications(trace, 8)]
+        assert check_all(trace, sw, cmps) == []

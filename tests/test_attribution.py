@@ -1,0 +1,91 @@
+"""Unit tests for per-data-structure miss attribution."""
+
+import pytest
+
+from repro.analysis.attribution import (
+    RegionTable,
+    UNMAPPED,
+    attribute_misses,
+)
+from repro.classify import classify
+from repro.errors import ConfigError
+from repro.trace import TraceBuilder
+
+
+class TestRegionTable:
+    def test_lookup(self):
+        table = RegionTable([("a", 0, 4), ("b", 10, 2)])
+        assert table.name_of(0) == "a"
+        assert table.name_of(3) == "a"
+        assert table.name_of(4) == UNMAPPED
+        assert table.name_of(10) == "b"
+        assert table.name_of(12) == UNMAPPED
+
+    def test_sorted_regardless_of_input_order(self):
+        table = RegionTable([("b", 10, 2), ("a", 0, 4)])
+        assert table.names == ["a", "b"]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            RegionTable([("a", 0, 4), ("b", 3, 4)])
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ConfigError):
+            RegionTable([("a", 0, 0)])
+
+    def test_from_trace_requires_meta(self):
+        t = TraceBuilder(1).load(0, 0).build()
+        with pytest.raises(ConfigError):
+            RegionTable.from_trace(t)
+
+
+class TestAttribution:
+    def test_counts_sum_to_classifier_totals(self, mp3d_trace):
+        result = attribute_misses(mp3d_trace, 32)
+        total = sum(bd.total for bd in result.by_region.values())
+        assert total == classify(mp3d_trace, 32).total
+
+    def test_all_misses_mapped_for_workloads(self, mp3d_trace):
+        """Workload generators allocate everything through the allocator,
+        so no miss should be unattributable."""
+        result = attribute_misses(mp3d_trace, 32)
+        assert UNMAPPED not in result.by_region
+
+    def test_explicit_regions(self):
+        t = (TraceBuilder(2)
+             .store(0, 0).store(1, 1)   # false sharing in 'hot'
+             .store(0, 0).store(1, 1)
+             .load(0, 8)                # private in 'cold'
+             .build())
+        result = attribute_misses(t, 8, regions=[("hot", 0, 2),
+                                                 ("cold", 8, 1)])
+        assert result.by_region["hot"].pfs > 0
+        assert result.by_region["cold"].pfs == 0
+        assert result.by_region["cold"].pc == 1
+
+    def test_top_false_sharers_ranked(self, mp3d_trace):
+        result = attribute_misses(mp3d_trace, 64)
+        top = result.top_false_sharers()
+        assert top == sorted(top, key=lambda kv: -kv[1])
+        assert all(count > 0 for _, count in top)
+
+    def test_mp3d_false_sharing_lands_on_particles_and_cells(self, mp3d_trace):
+        """The paper's section 6 attribution: 'False sharing misses are
+        due to modifications of particles and of space cells.'"""
+        result = attribute_misses(mp3d_trace, 64)
+        pfs_by_family = {}
+        for name, bd in result.by_region.items():
+            family = name.split(".")[1].split("[")[0] if "." in name else name
+            pfs_by_family[family] = pfs_by_family.get(family, 0) + bd.pfs
+        data_pfs = pfs_by_family.get("particle", 0) + pfs_by_family.get("cell", 0)
+        total_pfs = sum(pfs_by_family.values())
+        assert data_pfs > 0.5 * total_pfs
+
+    def test_format_renders_table(self, mp3d_trace):
+        text = attribute_misses(mp3d_trace, 32).format()
+        assert "region" in text and "PFS" in text
+
+    def test_unmapped_bucket_used_for_unknown_words(self):
+        t = TraceBuilder(1).load(0, 999).build()
+        result = attribute_misses(t, 8, regions=[("a", 0, 4)])
+        assert result.by_region[UNMAPPED].pc == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import TraceBuilder, save_text
+from repro.trace.io import save_npz
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    t = (TraceBuilder(2)
+         .store(0, 0).store(0, 1).release(0, 100)
+         .acquire(1, 100).load(1, 0).load(1, 1)
+         .build("cli-demo"))
+    path = str(tmp_path / "demo.trc")
+    save_text(t, path)
+    return path
+
+
+@pytest.fixture
+def racy_npz(tmp_path):
+    t = TraceBuilder(2).store(0, 0).load(1, 0).build("racy")
+    path = str(tmp_path / "racy.npz")
+    save_npz(t, path)
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        subparsers = next(a for a in parser._actions
+                          if a.dest == "command")
+        assert set(subparsers.choices) == {
+            "classify", "sweep", "simulate", "table1", "table2",
+            "fig5", "fig6", "validate", "generate", "attribute",
+            "traffic", "prefetch"}
+
+
+class TestCommands:
+    def test_classify_file(self, trace_file, capsys):
+        assert main(["classify", trace_file, "--block", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-demo" in out and "essential" in out
+
+    def test_classify_named_workload(self, capsys):
+        # use the smallest registered workload for speed
+        assert main(["classify", "MATMUL24", "--block", "64"]) == 0
+        assert "MATMUL24" in capsys.readouterr().out
+
+    def test_sweep(self, trace_file, capsys):
+        assert main(["sweep", trace_file]) == 0
+        assert "essential%" in capsys.readouterr().out
+
+    def test_simulate_all(self, trace_file, capsys):
+        assert main(["simulate", trace_file, "--block", "8"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MIN", "OTF", "RD", "SD", "SRD", "WBWI", "MAX"):
+            assert name in out
+
+    def test_simulate_single_protocol(self, trace_file, capsys):
+        assert main(["simulate", trace_file, "--protocol", "MIN"]) == 0
+        out = capsys.readouterr().out
+        assert "MIN" in out and "OTF" not in out
+
+    def test_validate_race_free(self, trace_file, capsys):
+        assert main(["validate", trace_file]) == 0
+        assert "race-free" in capsys.readouterr().out
+
+    def test_validate_racy_exits_nonzero(self, racy_npz, capsys):
+        assert main(["validate", racy_npz]) == 1
+        assert "race" in capsys.readouterr().out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "gen.npz")
+        assert main(["generate", "MATMUL24", out_path]) == 0
+        assert main(["classify", out_path]) == 0
+
+    def test_generate_text_format(self, tmp_path):
+        out_path = str(tmp_path / "gen.trc")
+        assert main(["generate", "MATMUL24", out_path]) == 0
+
+    def test_unknown_trace_spec_is_error(self, capsys):
+        assert main(["classify", "NOT_A_THING"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_error(self, capsys):
+        assert main(["classify", "missing.npz"]) == 2
+
+    def test_traffic_command(self, trace_file, capsys):
+        assert main(["traffic", trace_file, "--block", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes/ref" in out and "MIN" in out
+
+    def test_prefetch_command(self, trace_file, capsys):
+        assert main(["prefetch", trace_file]) == 0
+        assert "CTS+PTS%" in capsys.readouterr().out
+
+    def test_attribute_command_named_workload(self, capsys):
+        assert main(["attribute", "MATMUL24", "--block", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "misses by data structure" in out

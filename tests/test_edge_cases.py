@@ -1,0 +1,158 @@
+"""Edge-case battery: degenerate inputs through every public entry point.
+
+Empty traces, sync-only traces, single events, single processors, large
+processor counts and extreme block sizes must all flow through the
+classifiers, protocols and analyses without special-casing by callers.
+"""
+
+import pytest
+
+from repro.analysis.attribution import attribute_misses
+from repro.analysis.prefetch import prefetch_analysis
+from repro.analysis.sweep import sweep_block_sizes
+from repro.classify import (
+    DuboisClassifier,
+    classify,
+    compare_classifications,
+)
+from repro.mem import BlockMap
+from repro.protocols import (
+    ALL_PROTOCOLS,
+    FiniteOTFProtocol,
+    SectorProtocol,
+    run_protocol,
+    run_protocols,
+)
+from repro.protocols.traffic import estimate_traffic
+from repro.trace import Trace, TraceBuilder
+from repro.trace.stats import benchmark_stats
+from repro.trace.validate import check_races
+
+
+EMPTY = Trace([], num_procs=2, name="empty")
+SYNC_ONLY = (TraceBuilder(2).acquire(0, 100).release(0, 100)
+             .acquire(1, 100).release(1, 100).build("sync-only"))
+ONE_EVENT = TraceBuilder(1).load(0, 0).build("one")
+
+
+class TestEmptyTrace:
+    def test_classify(self):
+        bd = classify(EMPTY, 64)
+        assert bd.total == 0 and bd.data_refs == 0
+        assert bd.miss_rate == 0.0
+
+    def test_compare(self):
+        c = compare_classifications(EMPTY, 64)
+        assert c.ours.total == c.eggers.total == c.torrellas.total == 0
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_all_protocols(self, name):
+        r = run_protocol(name, EMPTY, 64)
+        assert r.misses == 0
+        assert r.miss_rate == 0.0
+        assert estimate_traffic(r).total_bytes == 0
+
+    def test_sweep_and_prefetch(self):
+        sw = sweep_block_sizes(EMPTY, [4, 1024])
+        assert all(bd.total == 0 for bd in sw.breakdowns)
+        pa = prefetch_analysis(EMPTY, [64])
+        assert pa.floors[64].baseline == 0.0
+
+    def test_race_check(self):
+        assert check_races(EMPTY).is_race_free
+
+    def test_stats(self):
+        st = benchmark_stats(EMPTY)
+        assert st.data_refs == 0
+
+
+class TestSyncOnlyTrace:
+    def test_classify_ignores_sync(self):
+        assert classify(SYNC_ONLY, 64).data_refs == 0
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_protocols_handle_pure_sync(self, name):
+        r = run_protocol(name, SYNC_ONLY, 64)
+        assert r.misses == 0
+
+
+class TestSingleEvent:
+    def test_one_load_is_one_pc_miss(self):
+        bd = classify(ONE_EVENT, 64)
+        assert bd.as_dict() == {"PC": 1, "CTS": 0, "CFS": 0, "PTS": 0,
+                                "PFS": 0, "data_refs": 1}
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_protocols(self, name):
+        assert run_protocol(name, ONE_EVENT, 64).misses == 1
+
+
+class TestExtremes:
+    def test_many_processors(self):
+        # Bitmask state must scale past machine word sizes.
+        nproc = 70
+        b = TraceBuilder(nproc)
+        for p in range(nproc):
+            b.load(p, 0)
+        b.store(0, 0)
+        for p in range(nproc):
+            b.load(p, 0)
+        t = b.build()
+        bd = classify(t, 4)
+        assert bd.cold == nproc
+        assert bd.pts == nproc - 1
+        r = run_protocol("OTF", t, 4)
+        assert r.breakdown.as_dict() == bd.as_dict()
+
+    def test_huge_addresses(self):
+        addr = 2**48
+        t = TraceBuilder(2).store(0, addr).load(1, addr).build()
+        bd = classify(t, 1024)
+        assert bd.total == 2
+
+    def test_minimum_and_maximum_paper_block_sizes(self, random_trace):
+        for bb in (4, 1024):
+            bd = classify(random_trace, bb)
+            assert bd.total > 0
+
+    def test_giant_block_size(self, random_trace):
+        # One block covers the whole address space.
+        bd = classify(random_trace, 1 << 20)
+        assert bd.cold <= random_trace.num_procs
+
+    def test_single_processor_through_everything(self):
+        t = TraceBuilder(1).stores(0, range(32)).loads(0, range(32)).build()
+        for name in ALL_PROTOCOLS:
+            r = run_protocol(name, t, 16)
+            assert r.misses == 8, name
+            assert r.breakdown.pc == 8, name
+
+    def test_finite_cache_capacity_one(self):
+        t = TraceBuilder(1).loads(0, [0, 16, 32, 0]).build()
+        r = FiniteOTFProtocol(1, BlockMap(16), 1).run(t)
+        assert r.misses == 4
+
+    def test_sector_on_empty(self):
+        r = SectorProtocol(2, BlockMap(64), 16).run(EMPTY)
+        assert r.misses == 0
+
+    def test_attribution_empty_trace(self):
+        result = attribute_misses(EMPTY, 64, regions=[("a", 0, 4)])
+        assert result.by_region == {}
+
+
+class TestRepeatedRuns:
+    def test_protocol_instances_are_single_use_by_design(self):
+        """A protocol's tracker finishes on run(); a fresh instance is
+        needed per run (guarded by the tracker)."""
+        from repro.errors import ProtocolError
+        from repro.protocols import OTFProtocol
+        p = OTFProtocol(1, BlockMap(8))
+        p.run(ONE_EVENT)
+        with pytest.raises(ProtocolError):
+            p.run(ONE_EVENT)
+
+    def test_run_protocols_uses_fresh_instances(self, random_trace):
+        a = run_protocols(random_trace, 16, ["OTF"])
+        b = run_protocols(random_trace, 16, ["OTF"])
+        assert a["OTF"].misses == b["OTF"].misses

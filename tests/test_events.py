@@ -1,0 +1,108 @@
+"""Unit tests for the event model (repro.trace.events)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import (
+    ACQUIRE,
+    DATA_OPS,
+    LOAD,
+    OPS,
+    RELEASE,
+    STORE,
+    SYNC_OPS,
+    count_ops,
+    format_event,
+    is_data_op,
+    is_sync_op,
+    make_event,
+    op_from_name,
+    op_name,
+    validate_event,
+)
+
+
+class TestOpcodes:
+    def test_opcodes_distinct(self):
+        assert len(set(OPS)) == 4
+
+    def test_data_and_sync_partition_ops(self):
+        assert set(DATA_OPS) | set(SYNC_OPS) == set(OPS)
+        assert not set(DATA_OPS) & set(SYNC_OPS)
+
+    def test_is_data_op(self):
+        assert is_data_op(LOAD) and is_data_op(STORE)
+        assert not is_data_op(ACQUIRE) and not is_data_op(RELEASE)
+
+    def test_is_sync_op(self):
+        assert is_sync_op(ACQUIRE) and is_sync_op(RELEASE)
+        assert not is_sync_op(LOAD) and not is_sync_op(STORE)
+
+
+class TestOpNames:
+    @pytest.mark.parametrize("op,name", [(LOAD, "LOAD"), (STORE, "STORE"),
+                                         (ACQUIRE, "ACQUIRE"),
+                                         (RELEASE, "RELEASE")])
+    def test_roundtrip(self, op, name):
+        assert op_name(op) == name
+        assert op_from_name(name) == op
+
+    @pytest.mark.parametrize("alias,op", [("LD", LOAD), ("ST", STORE),
+                                          ("ACQ", ACQUIRE), ("REL", RELEASE),
+                                          ("R", LOAD), ("W", STORE),
+                                          ("load", LOAD), (" store ", STORE)])
+    def test_aliases_and_case(self, alias, op):
+        assert op_from_name(alias) == op
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(TraceError):
+            op_name(99)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TraceError):
+            op_from_name("FETCH")
+
+
+class TestValidation:
+    def test_make_event_valid(self):
+        assert make_event(1, LOAD, 0x40) == (1, LOAD, 0x40)
+
+    def test_negative_proc_rejected(self):
+        with pytest.raises(TraceError):
+            make_event(-1, LOAD, 0)
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(TraceError):
+            make_event(0, 42, 0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            make_event(0, LOAD, -4)
+
+    def test_proc_bound_check(self):
+        validate_event((3, LOAD, 0), num_procs=4)
+        with pytest.raises(TraceError):
+            validate_event((4, LOAD, 0), num_procs=4)
+
+    def test_malformed_tuple_rejected(self):
+        with pytest.raises(TraceError):
+            validate_event((0, LOAD))
+        with pytest.raises(TraceError):
+            validate_event("nope")
+
+
+class TestHelpers:
+    def test_format_event(self):
+        assert format_event((3, STORE, 0x40)) == "P3 STORE 0x40"
+
+    def test_count_ops(self):
+        events = [(0, LOAD, 0), (0, STORE, 1), (1, LOAD, 2),
+                  (1, ACQUIRE, 3), (1, RELEASE, 3)]
+        counts = count_ops(events)
+        assert counts[LOAD] == 2
+        assert counts[STORE] == 1
+        assert counts[ACQUIRE] == 1
+        assert counts[RELEASE] == 1
+
+    def test_count_ops_empty(self):
+        assert count_ops([]) == {op: 0 for op in OPS}

@@ -1,0 +1,90 @@
+"""Unit tests for the finite-cache extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import BlockMap
+from repro.protocols import FiniteOTFProtocol, run_protocol
+from repro.trace import TraceBuilder
+from repro.trace.synth import private_blocks, uniform_random
+
+
+def run_finite(trace, block_bytes, capacity):
+    return FiniteOTFProtocol(trace.num_procs, BlockMap(block_bytes),
+                             capacity).run(trace)
+
+
+class TestReplacement:
+    def test_infinite_capacity_matches_otf(self, random_trace):
+        finite = run_finite(random_trace, 16, capacity=10_000)
+        otf = run_protocol("OTF", random_trace, 16)
+        assert finite.misses == otf.misses
+        assert finite.replacement_misses == 0
+
+    def test_lru_eviction_and_replacement_miss(self):
+        # capacity 1: every block change evicts; re-touch = replacement miss
+        t = TraceBuilder(1).load(0, 0).load(0, 4).load(0, 0).build()
+        r = run_finite(t, 16, capacity=1)
+        assert r.counters.replacements == 2
+        assert r.replacement_misses == 1
+        assert r.breakdown.pc == 2  # the two genuine cold misses
+
+    def test_lru_order(self):
+        # capacity 2; touch 0,4,0 then 8: block 4 (least recent) evicted
+        t = (TraceBuilder(1)
+             .load(0, 0).load(0, 4).load(0, 0).load(0, 8)
+             .load(0, 0)          # still cached: hit
+             .load(0, 4)          # replaced: replacement miss
+             .build())
+        r = run_finite(t, 16, capacity=2)
+        assert r.replacement_misses == 1
+        assert r.misses == 4
+
+    def test_invalidated_block_is_not_replacement(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 0)   # coherence invalidation, not replacement
+             .load(0, 0)
+             .build())
+        r = run_finite(t, 4, capacity=4)
+        assert r.replacement_misses == 0
+        assert r.breakdown.pts == 1
+
+    def test_remote_invalidation_of_cached_block_updates_lru(self):
+        t = (TraceBuilder(2)
+             .load(0, 0).load(0, 4)
+             .store(1, 0)          # P0's block 0 invalidated
+             .load(0, 8)           # fills the freed slot: no eviction
+             .load(0, 4)           # still cached
+             .build())
+        r = run_finite(t, 16, capacity=2)
+        assert r.counters.replacements == 0
+
+    def test_replacement_misses_are_essential(self):
+        """Paper section 8: 'A replacement miss is an essential miss'."""
+        t = TraceBuilder(1).load(0, 0).load(0, 4).load(0, 0).build()
+        r = run_finite(t, 16, capacity=1)
+        # the replacement miss is not in the PFS bucket
+        assert r.breakdown.pfs == 0
+
+    def test_essential_fraction_grows_as_capacity_shrinks(self):
+        """Paper section 8: 'the fraction of essential misses will
+        increase in systems with finite caches'."""
+        t = uniform_random(4, words=512, num_events=6000, seed=3)
+        fractions = []
+        for cap in (4, 16, 4096):
+            r = run_finite(t, 16, capacity=cap)
+            essential = r.breakdown.essential + r.replacement_misses
+            fractions.append(essential / r.misses)
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    def test_private_working_set_smaller_than_cache_never_replaces(self):
+        t = private_blocks(2, words_per_proc=8, iterations=4)
+        r = run_finite(t, 4, capacity=8)
+        assert r.counters.replacements == 0
+
+
+class TestValidation:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            FiniteOTFProtocol(1, BlockMap(4), 0)

@@ -1,0 +1,101 @@
+"""Unit tests for trace serialization (text and npz)."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import TraceBuilder
+from repro.trace.io import (
+    cached,
+    dumps_text,
+    load_npz,
+    load_text,
+    loads_text,
+    save_npz,
+    save_text,
+)
+
+
+@pytest.fixture
+def trace():
+    return (TraceBuilder(3)
+            .store(0, 0x10).load(1, 0x10).acquire(2, 0x100)
+            .release(2, 0x100).load(2, 0x11)
+            .build("roundtrip", meta={"seed": 7}))
+
+
+class TestTextFormat:
+    def test_roundtrip(self, trace):
+        assert loads_text(dumps_text(trace)) == trace
+
+    def test_preserves_name(self, trace):
+        assert loads_text(dumps_text(trace)).name == "roundtrip"
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = str(tmp_path / "t.trc")
+        save_text(trace, path)
+        assert load_text(path) == trace
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = ("#repro-trace-v1\nnum_procs 2\n\n"
+                "# a comment\n0 LOAD 0x4  # trailing\n1 ST 8\n")
+        t = loads_text(text)
+        assert len(t) == 2
+        assert t.events[1] == (1, 1, 8)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("num_procs 2\n0 LOAD 0\n")
+
+    def test_missing_num_procs_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\n0 LOAD 0\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs 1\n0 LOAD\n")
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs 1\n0 JUMP 0\n")
+
+    def test_decimal_and_hex_addresses(self):
+        t = loads_text("#repro-trace-v1\nnum_procs 1\n0 LOAD 10\n0 LOAD 0x10\n")
+        assert [a for _, _, a in t.events] == [10, 16]
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert loaded == trace
+        assert loaded.name == trace.name
+        assert loaded.meta["seed"] == 7
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a zip")
+        with pytest.raises(TraceFormatError):
+            load_npz(str(path))
+
+    def test_unjsonable_meta_degraded_not_lost(self, tmp_path):
+        t = TraceBuilder(1).load(0, 0).build("m", meta={"obj": object()})
+        path = str(tmp_path / "m.npz")
+        save_npz(t, path)
+        loaded = load_npz(path)
+        assert "obj" in loaded.meta  # repr'd, not dropped
+
+
+class TestCached:
+    def test_generates_once(self, trace, tmp_path):
+        path = str(tmp_path / "cache" / "t.npz")
+        calls = []
+
+        def gen():
+            calls.append(1)
+            return trace
+
+        first = cached(path, gen)
+        second = cached(path, gen)
+        assert first == trace and second == trace
+        assert len(calls) == 1

@@ -1,0 +1,112 @@
+"""Unit tests for struct layouts and the paper's record sizes."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.mem.allocator import Allocator
+from repro.mem.layout import (
+    ANL_BARRIER,
+    ANL_LOCK,
+    PARTICLE,
+    SPACE_CELL,
+    StructLayout,
+    WATER_MOLECULE,
+    padded_layout,
+)
+
+
+class TestStructLayout:
+    def test_offsets_packed(self):
+        s = StructLayout("s", [("a", 8), ("b", 4), ("c", 12)])
+        assert s.offset_words("a") == 0
+        assert s.offset_words("b") == 2
+        assert s.offset_words("c") == 3
+        assert s.nbytes == 24 and s.words == 6
+
+    def test_unknown_field_rejected(self):
+        s = StructLayout("s", [("a", 4)])
+        with pytest.raises(LayoutError):
+            s.offset_words("zzz")
+        with pytest.raises(LayoutError):
+            s.field("zzz")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("s", [("a", 4), ("a", 4)])
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("s", [])
+
+    def test_non_word_multiple_field_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("s", [("a", 6)])
+
+    def test_zero_size_field_rejected(self):
+        with pytest.raises(LayoutError):
+            StructLayout("s", [("a", 0)])
+
+    def test_field_words_in_region(self):
+        s = StructLayout("s", [("a", 8), ("b", 4)])
+        region = Allocator().alloc_bytes("inst", s.nbytes)
+        assert list(s.field_words(region, "a")) == [0, 1]
+        assert list(s.field_words(region, "b")) == [2]
+
+    def test_field_word_indexing(self):
+        s = StructLayout("s", [("a", 12)])
+        region = Allocator().alloc_bytes("inst", s.nbytes)
+        assert s.field_word(region, "a", 2) == 2
+        with pytest.raises(LayoutError):
+            s.field_word(region, "a", 3)
+
+    def test_too_small_region_rejected(self):
+        s = StructLayout("s", [("a", 16)])
+        region = Allocator().alloc_bytes("small", 8)
+        with pytest.raises(LayoutError):
+            s.field_words(region, "a")
+
+
+class TestPaperLayouts:
+    def test_particle_is_36_bytes(self):
+        assert PARTICLE.nbytes == 36
+
+    def test_space_cell_is_48_bytes(self):
+        assert SPACE_CELL.nbytes == 48
+
+    def test_molecule_is_680_bytes(self):
+        assert WATER_MOLECULE.nbytes == 680
+
+    def test_molecule_forces_is_nine_doubles(self):
+        assert WATER_MOLECULE.field("forces").nbytes == 72
+
+    def test_collision_touches_five_words(self):
+        """Paper: 'five words (20 bytes) of the data structures ... are
+        updated' — our collision fields are vel (3 words) + scratch (2)."""
+        assert PARTICLE.field("vel").words + PARTICLE.field("scratch").words == 5
+
+    def test_barrier_counter_and_flag_adjacent(self):
+        assert ANL_BARRIER.nbytes == 8
+        assert ANL_BARRIER.offset_words("flag") \
+            == ANL_BARRIER.offset_words("counter") + 1
+
+    def test_lock_is_one_word(self):
+        assert ANL_LOCK.nbytes == 4
+
+
+class TestPaddedLayout:
+    def test_pads_to_boundary(self):
+        padded = padded_layout(ANL_BARRIER, 64)
+        assert padded.nbytes == 64
+
+    def test_already_aligned_unchanged_size(self):
+        s = StructLayout("s", [("a", 64)])
+        assert padded_layout(s, 64).nbytes == 64
+
+    def test_field_offsets_preserved(self):
+        padded = padded_layout(ANL_BARRIER, 32)
+        assert padded.offset_words("counter") == 0
+        assert padded.offset_words("flag") == 1
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(LayoutError):
+            padded_layout(ANL_BARRIER, 6)

@@ -1,0 +1,49 @@
+"""Unit tests for the execution instruction set helpers."""
+
+from repro.execution import ops
+from repro.mem.allocator import Allocator
+from repro.trace.events import ACQUIRE, LOAD, RELEASE, STORE
+
+
+class TestSingleOps:
+    def test_load_store(self):
+        assert ops.load(5) == (ops.MEM, LOAD, 5)
+        assert ops.store(5) == (ops.MEM, STORE, 5)
+
+    def test_sync_events(self):
+        assert ops.acquire_event(9) == (ops.SYNC, ACQUIRE, 9)
+        assert ops.release_event(9) == (ops.SYNC, RELEASE, 9)
+
+    def test_block_until_carries_predicate(self):
+        flag = []
+        op = ops.block_until(lambda: bool(flag))
+        assert op[0] == ops.BLOCK
+        assert op[1]() is False
+        flag.append(1)
+        assert op[1]() is True
+
+
+class TestBulkOps:
+    def test_load_words(self):
+        assert list(ops.load_words([1, 2])) == [(ops.MEM, LOAD, 1),
+                                                (ops.MEM, LOAD, 2)]
+
+    def test_store_words(self):
+        assert list(ops.store_words([3])) == [(ops.MEM, STORE, 3)]
+
+    def test_region_helpers(self):
+        region = Allocator().alloc_words("r", 3)
+        loads = list(ops.load_region(region))
+        stores = list(ops.store_region(region))
+        assert [a for _, _, a in loads] == [0, 1, 2]
+        assert [op for _, op, _ in stores] == [STORE] * 3
+
+    def test_read_modify_write(self):
+        assert list(ops.read_modify_write(7)) == [(ops.MEM, LOAD, 7),
+                                                  (ops.MEM, STORE, 7)]
+
+    def test_update_region_interleaves_rmw(self):
+        region = Allocator().alloc_words("r", 2)
+        seq = list(ops.update_region(region))
+        assert seq == [(ops.MEM, LOAD, 0), (ops.MEM, STORE, 0),
+                       (ops.MEM, LOAD, 1), (ops.MEM, STORE, 1)]

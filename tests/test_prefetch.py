@@ -1,0 +1,60 @@
+"""Unit tests for the prefetching-floor analysis (paper section 2.0)."""
+
+import pytest
+
+from repro.analysis.prefetch import PrefetchFloors, prefetch_analysis
+from repro.classify import classify
+from repro.trace import TraceBuilder
+from repro.trace.synth import private_blocks, uniform_random
+
+
+class TestFloors:
+    def test_ordering_of_floors(self, mp3d_trace):
+        """baseline >= +preload >= +preload+WI == CTS+PTS, always."""
+        analysis = prefetch_analysis(mp3d_trace, [8, 32, 128])
+        for floors in analysis.floors.values():
+            assert floors.baseline >= floors.with_preload
+            assert floors.with_preload >= floors.with_preload_and_wi
+            assert floors.with_preload_and_wi == pytest.approx(
+                floors.irreducible)
+
+    def test_private_data_fully_prefetchable(self):
+        """All-private traces are pure PC: preloading removes everything."""
+        t = private_blocks(4, words_per_proc=8, iterations=2)
+        analysis = prefetch_analysis(t, [16])
+        floors = analysis.floors[16]
+        assert floors.baseline > 0
+        assert floors.with_preload == 0.0
+        assert floors.irreducible == 0.0
+
+    def test_cts_cannot_be_eliminated(self):
+        """'CTS misses cannot be eliminated': a consumed cold miss stays
+        in every floor."""
+        t = TraceBuilder(2).store(0, 0).load(1, 0).build()
+        floors = prefetch_analysis(t, [4]).floors[4]
+        # P1's cold miss consumes P0's value: CTS, in the final floor.
+        assert floors.with_preload_and_wi > 0
+
+    def test_cfs_removed_only_with_word_invalidation(self):
+        t = TraceBuilder(2).store(0, 1).load(1, 0).build()
+        bd = classify(t, 8)
+        assert bd.cfs == 1
+        floors = prefetch_analysis(t, [8]).floors[8]
+        assert floors.with_preload > floors.with_preload_and_wi
+
+    def test_rates_consistent_with_breakdown(self, random_trace):
+        analysis = prefetch_analysis(random_trace, [16])
+        floors = analysis.floors[16]
+        bd = floors.breakdown
+        assert floors.baseline == pytest.approx(bd.essential_rate)
+        assert floors.with_preload == pytest.approx(
+            bd.rate(bd.essential - bd.pc))
+
+    def test_format_renders(self, random_trace):
+        text = prefetch_analysis(random_trace, [8, 16]).format()
+        assert "essential%" in text and "CTS+PTS%" in text
+
+    def test_default_block_sizes_are_paper_sweep(self, random_trace):
+        analysis = prefetch_analysis(random_trace)
+        assert sorted(analysis.floors) == [4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024]

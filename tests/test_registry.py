@@ -1,0 +1,82 @@
+"""Unit tests for the workload registry and suites."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    LARGE_SUITE,
+    NAMED_CONFIGS,
+    PAPER_LARGE_SUITE,
+    SMALL_SUITE,
+    make_workload,
+    suite,
+)
+from repro.workloads.base import Workload, split_round_robin
+
+
+class TestNamedConfigs:
+    def test_small_suite_is_the_paper_lineup(self):
+        assert SMALL_SUITE == ("LU32", "MP3D200", "WATER16", "JACOBI64")
+
+    def test_every_name_instantiable(self):
+        for name in NAMED_CONFIGS:
+            wl = make_workload(name)
+            assert isinstance(wl, Workload)
+            assert wl.num_procs == 16
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("LU9999")
+
+    def test_factories_return_fresh_instances(self):
+        assert make_workload("LU32") is not make_workload("LU32")
+
+    def test_paper_large_names_present(self):
+        assert set(PAPER_LARGE_SUITE) <= set(NAMED_CONFIGS)
+        assert set(LARGE_SUITE) <= set(NAMED_CONFIGS)
+
+
+class TestSuites:
+    def test_small_suite_builds(self):
+        wls = suite("small")
+        assert [w.label for w in wls] == ["LU32", "MP3D200", "WATER16",
+                                          "JACOBI64"]
+
+    def test_large_suite_builds(self):
+        assert len(suite("large")) == 3
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ConfigError):
+            suite("giant")
+
+
+class TestSplitRoundRobin:
+    def test_interleaving(self):
+        assert list(split_round_robin(10, 4, 1)) == [1, 5, 9]
+
+    def test_partition_is_complete_and_disjoint(self):
+        owned = [set(split_round_robin(13, 4, p)) for p in range(4)]
+        union = set().union(*owned)
+        assert union == set(range(13))
+        assert sum(len(s) for s in owned) == 13
+
+    def test_adjacent_items_differ_in_owner(self):
+        """The property the paper's false sharing relies on."""
+        owners = {}
+        for p in range(4):
+            for i in split_round_robin(12, 4, p):
+                owners[i] = p
+        assert all(owners[i] != owners[i + 1] for i in range(11))
+
+
+class TestWorkloadBase:
+    def test_describe_config_excludes_private(self):
+        wl = make_workload("LU32")
+        cfg = wl.describe_config()
+        assert "n" in cfg and "num_procs" in cfg
+        assert not any(k.startswith("_") for k in cfg)
+
+    def test_nonpositive_procs_rejected(self):
+        from repro.workloads import LU
+        with pytest.raises(ConfigError):
+            LU(8, num_procs=0)

@@ -1,0 +1,68 @@
+"""Unit tests for the protocol runner/registry and the Counters type."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mem import BlockMap
+from repro.protocols import (
+    ALL_PROTOCOLS,
+    Counters,
+    make_protocol,
+    protocol_names,
+    run_protocol,
+    run_protocols,
+)
+
+
+class TestRegistry:
+    def test_all_protocols_in_paper_order(self):
+        assert ALL_PROTOCOLS == ("MIN", "OTF", "RD", "SD", "SRD", "WBWI",
+                                 "MAX")
+
+    def test_protocol_names_starts_with_paper_lineup(self):
+        names = protocol_names()
+        assert tuple(names[:7]) == ALL_PROTOCOLS
+
+    def test_make_protocol(self):
+        p = make_protocol("OTF", 4, BlockMap(8))
+        assert p.name == "OTF"
+        assert p.num_procs == 4
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_protocol("NOPE", 1, BlockMap(4))
+
+
+class TestRunners:
+    def test_run_protocol(self, producer_trace):
+        r = run_protocol("OTF", producer_trace, 16)
+        assert r.protocol == "OTF"
+        assert r.num_procs == producer_trace.num_procs
+
+    def test_run_protocols_default_all(self, producer_trace):
+        res = run_protocols(producer_trace, 16)
+        assert list(res) == list(ALL_PROTOCOLS)
+
+    def test_run_protocols_subset_preserves_order(self, producer_trace):
+        res = run_protocols(producer_trace, 16, ["MAX", "MIN"])
+        assert list(res) == ["MAX", "MIN"]
+
+    def test_same_trace_same_results(self, producer_trace):
+        a = run_protocol("RD", producer_trace, 16)
+        b = run_protocol("RD", producer_trace, 16)
+        assert a.breakdown.as_dict() == b.breakdown.as_dict()
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+
+class TestCounters:
+    def test_as_dict_roundtrip(self):
+        c = Counters(fetches=3, invalidations_sent=2)
+        d = c.as_dict()
+        assert d["fetches"] == 3
+        assert d["invalidations_sent"] == 2
+        assert d["replacements"] == 0
+
+    def test_describe_result(self, producer_trace):
+        r = run_protocol("MIN", producer_trace, 16)
+        text = r.describe()
+        assert "MIN" in text and "miss_rate" in text

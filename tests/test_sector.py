@@ -1,0 +1,98 @@
+"""Unit tests for the sector (sub-block coherence) protocol."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import BlockMap
+from repro.protocols import SectorProtocol, run_protocol, sector_sweep_sizes
+from repro.trace import TraceBuilder
+
+
+def run_sector(trace, block_bytes, sub_bytes):
+    return SectorProtocol(trace.num_procs, BlockMap(block_bytes),
+                          sub_bytes).run(trace)
+
+
+class TestEndpoints:
+    def test_word_sub_blocks_equal_min(self, random_trace):
+        for bb in (16, 64):
+            sector = run_sector(random_trace, bb, 4)
+            mn = run_protocol("MIN", random_trace, bb)
+            assert sector.misses == mn.misses
+            assert sector.breakdown.as_dict() == mn.breakdown.as_dict()
+
+    def test_full_block_sub_blocks_equal_otf(self, random_trace):
+        for bb in (16, 64):
+            sector = run_sector(random_trace, bb, bb)
+            otf = run_protocol("OTF", random_trace, bb)
+            assert sector.misses == otf.misses
+            assert sector.breakdown.as_dict() == otf.breakdown.as_dict()
+
+    def test_intermediate_sizes_interpolate(self, random_trace):
+        misses = [run_sector(random_trace, 64, sub).misses
+                  for sub in sector_sweep_sizes(64)]
+        # Coarser coherence granularity can only add misses.
+        assert misses == sorted(misses)
+
+
+class TestMechanics:
+    def test_invalid_sub_block_misses(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 4)    # word 4 is in the second 16-B sub-block
+             .load(0, 4)     # accessed sub invalid: miss
+             .build())
+        r = run_sector(t, 64, 16)
+        assert r.misses == 3
+
+    def test_clean_sub_block_hits(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 4)    # invalidates only sub-block 1
+             .load(0, 0)     # sub-block 0 still valid: hit
+             .build())
+        r = run_sector(t, 64, 16)
+        assert r.misses == 2
+
+    def test_same_sub_block_conflict_still_misses(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 1)    # word 1 shares the 16-B sub-block with word 0
+             .load(0, 0)     # sub invalid: false sharing survives within sub
+             .build())
+        r = run_sector(t, 64, 16)
+        assert r.misses == 3
+        assert r.breakdown.pfs == 1
+
+    def test_refetch_revalidates_all_subs(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 4).store(1, 8)   # two subs invalid
+             .load(0, 4)                # miss refetches the whole block
+             .load(0, 8)                # hit
+             .build())
+        r = run_sector(t, 64, 16)
+        assert r.misses == 3
+
+    def test_word_invalidations_counted_per_sub(self):
+        t = TraceBuilder(2).load(0, 0).store(1, 4).build()
+        r = run_sector(t, 64, 16)
+        assert r.counters.word_invalidations == 1
+
+
+class TestValidation:
+    def test_sub_larger_than_block_rejected(self):
+        with pytest.raises(ConfigError):
+            SectorProtocol(2, BlockMap(16), 32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            SectorProtocol(2, BlockMap(64), 12)
+
+    def test_sub_smaller_than_word_rejected(self):
+        with pytest.raises(ConfigError):
+            SectorProtocol(2, BlockMap(64), 2)
+
+    def test_sweep_sizes(self):
+        assert sector_sweep_sizes(64) == [4, 8, 16, 32, 64]
+        assert sector_sweep_sizes(4) == [4]

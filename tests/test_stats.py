@@ -1,0 +1,72 @@
+"""Unit tests for benchmark statistics (Table 2 machinery)."""
+
+import pytest
+
+from repro.trace import TraceBuilder
+from repro.trace.stats import BenchmarkStats, benchmark_stats
+from repro.trace.trace import Trace
+
+
+class TestBenchmarkStats:
+    def test_counts_from_trace(self):
+        t = (TraceBuilder(2)
+             .load(0, 0).load(0, 1).store(1, 2)
+             .acquire(0, 9).release(0, 9)
+             .build("demo"))
+        st = benchmark_stats(t)
+        assert st.reads == 2 and st.writes == 1
+        assert st.acquires == 1 and st.releases == 1
+        assert st.acq_rel == 2
+        assert st.data_refs == 3
+        assert st.name == "demo"
+
+    def test_speedup_from_cycles(self):
+        # 8 events executed in 4 cycles on 2 processors: speedup 2.
+        t = Trace([(p, 0, w) for w in range(4) for p in (0, 1)], 2,
+                  meta={"cycles": 4}, validate=False)
+        st = benchmark_stats(t)
+        assert st.speedup == pytest.approx(2.0)
+
+    def test_speedup_none_without_cycles(self):
+        t = TraceBuilder(1).load(0, 0).build()
+        assert benchmark_stats(t).speedup is None
+
+    def test_data_set_bytes_from_meta(self):
+        t = Trace([(0, 0, 0)], 1, meta={"data_set_bytes": 2048},
+                  validate=False)
+        st = benchmark_stats(t)
+        assert st.data_set_bytes == 2048
+        assert st.data_set_kb == pytest.approx(2.0)
+
+    def test_data_set_none_without_meta(self):
+        t = TraceBuilder(1).load(0, 0).build()
+        st = benchmark_stats(t)
+        assert st.data_set_bytes is None
+        assert st.data_set_kb is None
+
+    def test_as_row_formats_paper_columns(self):
+        st = BenchmarkStats(name="X", num_procs=16, reads=43200,
+                            writes=21856, acquires=256, releases=256,
+                            data_set_bytes=8 * 1024, speedup=9.03)
+        row = st.as_row()
+        assert row["BENCHMARK"] == "X"
+        assert row["SPEEDUP"] == "9.0"
+        assert row["WRITES (000's)"] == "21.9"
+        assert row["READS (000's)"] == "43.2"
+        assert row["ACQ/REL (000's)"] == "0.5"
+        assert row["DATA SET (KB)"] == "8"
+
+    def test_as_row_handles_unknowns(self):
+        st = BenchmarkStats(name="X", num_procs=1, reads=0, writes=0,
+                            acquires=0, releases=0, data_set_bytes=None,
+                            speedup=None)
+        row = st.as_row()
+        assert row["SPEEDUP"] == "-"
+        assert row["DATA SET (KB)"] == "-"
+
+    def test_speedup_counts_sync_events_as_work(self):
+        # 2 data + 2 sync events on one processor in 4 cycles: speedup 1.
+        t = (TraceBuilder(1).load(0, 0).acquire(0, 9).release(0, 9)
+             .load(0, 1).build())
+        t.meta["cycles"] = 4
+        assert benchmark_stats(t).speedup == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the traffic model."""
+
+import pytest
+
+from repro.protocols import run_protocol, run_protocols
+from repro.protocols.traffic import (
+    Traffic,
+    TrafficModel,
+    estimate_traffic,
+    traffic_per_reference,
+)
+from repro.trace import TraceBuilder
+from repro.trace.synth import producer_consumer
+
+
+class TestTrafficArithmetic:
+    def test_components_sum(self):
+        t = Traffic(fetch_bytes=100, word_write_bytes=20,
+                    invalidation_bytes=8, word_invalidation_bytes=12)
+        assert t.data_bytes == 120
+        assert t.control_bytes == 20
+        assert t.total_bytes == 140
+
+    def test_per_reference(self):
+        t = Traffic(100, 0, 0, 0)
+        assert t.per_reference(50) == pytest.approx(2.0)
+        assert t.per_reference(0) == 0.0
+
+
+class TestEstimation:
+    def test_otf_counts_fetches_and_invalidations(self):
+        trace = (TraceBuilder(2)
+                 .load(0, 0).load(1, 0).store(0, 0).build())
+        r = run_protocol("OTF", trace, 8)
+        t = estimate_traffic(r)
+        # 2 fetches of an 8-byte block (+8B header each), 1 invalidation.
+        assert t.fetch_bytes == 2 * (8 + 8)
+        assert t.invalidation_bytes == 8
+        assert t.word_write_bytes == 0
+
+    def test_min_counts_write_throughs_and_word_invalidations(self):
+        trace = (TraceBuilder(2)
+                 .load(0, 0).store(1, 1).build())
+        r = run_protocol("MIN", trace, 8)
+        t = estimate_traffic(r)
+        assert t.word_write_bytes == 12       # one word write-through
+        assert t.word_invalidation_bytes == 12
+
+    def test_custom_model(self):
+        trace = TraceBuilder(1).load(0, 0).build()
+        r = run_protocol("OTF", trace, 8)
+        t = estimate_traffic(r, TrafficModel(header_bytes=0))
+        assert t.fetch_bytes == 8
+
+    def test_block_size_drives_fetch_traffic(self, producer_trace):
+        small = estimate_traffic(run_protocol("OTF", producer_trace, 16))
+        large = estimate_traffic(run_protocol("OTF", producer_trace, 256))
+        # fewer misses at large blocks, but each one moves far more data
+        assert large.fetch_bytes > small.fetch_bytes
+
+
+class TestPaperConclusion:
+    def test_reduced_misses_reduce_miss_traffic(self, pingpong_trace):
+        """'The protocols with reduced miss rates also have reduced miss
+        traffic' — MIN eliminates the useless misses of the ping-pong
+        pattern and with them their block-fill traffic."""
+        res = run_protocols(pingpong_trace, 64, ["OTF", "MIN"])
+        fetch = {n: estimate_traffic(r).fetch_bytes for n, r in res.items()}
+        assert res["MIN"].misses < res["OTF"].misses
+        assert fetch["MIN"] < fetch["OTF"]
+
+    def test_update_protocol_trades_misses_for_word_traffic(self):
+        t = producer_consumer(4, words=16, rounds=10)
+        otf = run_protocol("OTF", t, 64)
+        wu = run_protocol("WU", t, 64)
+        assert wu.misses < otf.misses
+        assert estimate_traffic(wu).word_write_bytes \
+            > estimate_traffic(otf).word_write_bytes
+
+    def test_traffic_per_reference_helper(self, producer_trace):
+        r = run_protocol("OTF", producer_trace, 64)
+        assert traffic_per_reference(r) == pytest.approx(
+            estimate_traffic(r).total_bytes / r.breakdown.data_refs)

@@ -1,0 +1,115 @@
+"""Unit tests for the write-update and competitive-update extensions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import BlockMap
+from repro.protocols import CUProtocol, run_protocol, run_protocols
+from repro.trace import TraceBuilder
+from repro.trace.synth import (
+    false_sharing_pingpong,
+    producer_consumer,
+    read_mostly,
+)
+
+
+class TestWU:
+    def test_only_cold_misses(self, producer_trace):
+        r = run_protocol("WU", producer_trace, 16)
+        assert r.breakdown.pts == 0
+        assert r.breakdown.pfs == 0
+        assert r.misses == r.breakdown.cold
+
+    def test_updates_deliver_values(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 0)    # update pushed into P0's copy
+             .load(0, 0)     # hit, current value
+             .build())
+        r = run_protocol("WU", t, 4)
+        assert r.misses == 2
+        assert r.counters.write_throughs == 1
+
+    def test_can_beat_invalidate_minimum(self, producer_trace):
+        """Updates communicate without re-fetching: fewer misses than MIN
+        (the paper's closing argument for update protocols)."""
+        res = run_protocols(producer_trace, 16, ["MIN", "WU"])
+        assert res["WU"].misses < res["MIN"].misses
+
+    def test_update_traffic_scales_with_sharers(self):
+        t = (TraceBuilder(4)
+             .load(1, 0).load(2, 0).load(3, 0)
+             .store(0, 0)
+             .build())
+        r = run_protocol("WU", t, 4)
+        assert r.counters.write_throughs == 3
+
+    def test_no_invalidations_ever(self, random_trace):
+        r = run_protocol("WU", random_trace, 16)
+        assert r.counters.invalidations_applied == 0
+
+
+class TestCU:
+    def test_threshold_one_acts_like_invalidate(self):
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 0)    # first unused update hits threshold: drop
+             .load(0, 0)     # miss
+             .build())
+        p = CUProtocol(2, BlockMap(4), threshold=1)
+        r = p.run(t)
+        assert r.misses == 3
+        assert r.counters.write_throughs == 0
+
+    def test_large_threshold_acts_like_wu(self, producer_trace):
+        wu = run_protocol("WU", producer_trace, 16)
+        cu = CUProtocol(producer_trace.num_procs, BlockMap(16),
+                        threshold=10_000).run(producer_trace)
+        assert cu.misses == wu.misses
+
+    def test_local_access_resets_counter(self):
+        p = CUProtocol(2, BlockMap(4), threshold=2)
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 0)    # 1 unused update
+             .load(0, 0)     # reset
+             .store(1, 0)    # 1 unused update again
+             .load(0, 0)     # still cached: hit
+             .build())
+        r = p.run(t)
+        assert r.misses == 2
+
+    def test_unused_copy_dropped_after_threshold(self):
+        p = CUProtocol(2, BlockMap(4), threshold=2)
+        t = (TraceBuilder(2)
+             .load(0, 0)
+             .store(1, 0).store(1, 0)   # two unused updates: drop P0's copy
+             .load(0, 0)                # miss
+             .build())
+        r = p.run(t)
+        assert r.misses == 3
+        assert r.counters.invalidations_applied == 1
+        # only the first update was actually transmitted
+        assert r.counters.write_throughs == 1
+
+    def test_default_threshold_between_wu_and_otf(self):
+        t = read_mostly(4, words=8, rounds=30, writes_per_round=4, seed=3)
+        res = run_protocols(t, 16, ["OTF", "CU", "WU"])
+        assert res["WU"].misses <= res["CU"].misses <= res["OTF"].misses
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            CUProtocol(2, BlockMap(4), threshold=0)
+
+    def test_abandoned_copy_stops_update_traffic(self):
+        """A copy its holder stopped using should stop costing updates
+        under the competitive rule (but keeps costing under pure WU)."""
+        b = TraceBuilder(2).load(0, 0)
+        for _ in range(50):
+            b.store(1, 0)
+        t = b.build()
+        wu = run_protocol("WU", t, 16)
+        cu = run_protocol("CU", t, 16)  # default threshold 4
+        assert wu.counters.write_throughs == 50
+        assert cu.counters.write_throughs == 3
+        assert cu.counters.invalidations_applied == 1

@@ -1,0 +1,146 @@
+"""Unit tests for the happens-before race detector."""
+
+import pytest
+
+from repro.errors import DataRaceError
+from repro.trace import TraceBuilder
+from repro.trace.validate import (
+    assert_race_free,
+    check_races,
+    sync_pairs_balanced,
+)
+
+
+class TestBasicRaces:
+    def test_unsynchronized_write_read_is_racy(self):
+        t = TraceBuilder(2).store(0, 5).load(1, 5).build()
+        assert not check_races(t).is_race_free
+
+    def test_unsynchronized_write_write_is_racy(self):
+        t = TraceBuilder(2).store(0, 5).store(1, 5).build()
+        assert not check_races(t).is_race_free
+
+    def test_read_read_is_not_racy(self):
+        t = TraceBuilder(2).load(0, 5).load(1, 5).build()
+        assert check_races(t).is_race_free
+
+    def test_same_processor_never_races(self):
+        t = TraceBuilder(1).store(0, 5).load(0, 5).store(0, 5).build()
+        assert check_races(t).is_race_free
+
+    def test_different_words_never_race(self):
+        t = TraceBuilder(2).store(0, 5).store(1, 6).build()
+        assert check_races(t).is_race_free
+
+    def test_racy_read_then_write_detected(self):
+        t = TraceBuilder(2).load(0, 5).store(1, 5).build()
+        assert not check_races(t).is_race_free
+
+
+class TestSynchronization:
+    def test_lock_protected_accesses_are_ordered(self):
+        t = (TraceBuilder(2)
+             .acquire(0, 100).store(0, 5).release(0, 100)
+             .acquire(1, 100).load(1, 5).release(1, 100)
+             .build())
+        assert check_races(t).is_race_free
+
+    def test_flag_style_release_acquire_orders(self):
+        # producer stores data then releases flag; consumer acquires then reads
+        t = (TraceBuilder(2)
+             .store(0, 5).release(0, 200)
+             .acquire(1, 200).load(1, 5)
+             .build())
+        assert check_races(t).is_race_free
+
+    def test_wrong_sync_variable_does_not_order(self):
+        t = (TraceBuilder(2)
+             .store(0, 5).release(0, 200)
+             .acquire(1, 201).load(1, 5)
+             .build())
+        assert not check_races(t).is_race_free
+
+    def test_acquire_before_release_does_not_order(self):
+        # consumer acquires *before* the producer's release: no edge
+        t = (TraceBuilder(2)
+             .acquire(1, 200)
+             .store(0, 5).release(0, 200)
+             .load(1, 5)
+             .build())
+        assert not check_races(t).is_race_free
+
+    def test_transitive_ordering_through_third_party(self):
+        t = (TraceBuilder(3)
+             .store(0, 5).release(0, 200)
+             .acquire(1, 200).release(1, 201)
+             .acquire(2, 201).load(2, 5)
+             .build())
+        assert check_races(t).is_race_free
+
+    def test_write_after_synchronized_read_needs_own_sync(self):
+        t = (TraceBuilder(2)
+             .load(1, 5)
+             .store(0, 5)
+             .build())
+        assert not check_races(t).is_race_free
+
+
+class TestReporting:
+    def test_reports_conflicting_pair(self):
+        t = TraceBuilder(2).store(0, 5).load(1, 5).build()
+        report = check_races(t)
+        (i1, e1), (i2, e2) = report.races[0]
+        assert (i1, i2) == (0, 1)
+        assert e1 == (0, 1, 5) and e2 == (1, 0, 5)
+
+    def test_max_races_caps_collection(self):
+        b = TraceBuilder(2)
+        for w in range(40):
+            b.store(0, w).store(1, w)
+        report = check_races(b.build(), max_races=5)
+        assert len(report.races) == 5
+
+    def test_describe_mentions_events(self):
+        t = TraceBuilder(2).store(0, 5).load(1, 5).build()
+        text = check_races(t).describe()
+        assert "STORE" in text and "LOAD" in text
+
+    def test_describe_race_free(self):
+        assert check_races(TraceBuilder(1).load(0, 0).build()).describe() \
+            == "race-free"
+
+    def test_assert_race_free_raises(self):
+        t = TraceBuilder(2).store(0, 5).load(1, 5).build()
+        with pytest.raises(DataRaceError):
+            assert_race_free(t)
+
+    def test_assert_race_free_passes(self):
+        assert_race_free(TraceBuilder(1).store(0, 1).build())
+
+
+class TestSyncBalance:
+    def test_balanced_ok(self):
+        t = (TraceBuilder(1).acquire(0, 1).release(0, 1).build())
+        assert sync_pairs_balanced(t) is None
+
+    def test_leaked_lock_flagged(self):
+        # lock style: the proc releases addr 1 once but acquires it twice
+        t = (TraceBuilder(1).acquire(0, 1).release(0, 1).acquire(0, 1)
+             .build())
+        problem = sync_pairs_balanced(t)
+        assert problem is not None and "leaked" in problem
+
+    def test_flag_style_acquire_only_allowed(self):
+        # flag style: acquire with no release by the same proc (LU waits)
+        t = TraceBuilder(2).release(1, 1).acquire(0, 1).build()
+        assert sync_pairs_balanced(t) is None
+
+    def test_flag_style_release_allowed(self):
+        t = TraceBuilder(1).release(0, 1).build()
+        assert sync_pairs_balanced(t) is None
+
+    def test_nested_locks_ok(self):
+        t = (TraceBuilder(1)
+             .acquire(0, 1).acquire(0, 2).release(0, 2).release(0, 1)
+             .build())
+        assert sync_pairs_balanced(t) is None
