@@ -2,17 +2,27 @@
 
 simulators on a real benchmark trace.  These guard against performance
 regressions in the hot loops (the library's usefulness depends on keeping
-multi-million-event traces tractable)."""
+multi-million-event traces tractable), and pin the sweep engine's
+end-to-end speedup over the pre-refactor workflow (see
+``test_fig5_sweep_end_to_end_speedup``)."""
+
+import time
 
 import pytest
 
+from repro.analysis.engine import SweepEngine
 from repro.classify import (
     DuboisClassifier,
     EggersClassifier,
+    ReferenceDuboisClassifier,
     TorrellasClassifier,
 )
 from repro.mem import BlockMap
+from repro.mem.addresses import PAPER_BLOCK_SIZES
 from repro.protocols import run_protocol
+from repro.trace.cache import WorkloadTraceCache
+from repro.trace.trace import Trace
+from repro.workloads import make_workload
 
 
 @pytest.mark.parametrize("classifier", [DuboisClassifier, EggersClassifier,
@@ -41,8 +51,58 @@ def test_protocol_throughput(benchmark, mp3d200, protocol):
 
 
 def test_workload_generation_throughput(benchmark):
-    from repro.workloads import make_workload
     trace = benchmark.pedantic(
         lambda: make_workload("MP3D200").generate(), rounds=1, iterations=1)
     assert len(trace) > 10_000
     benchmark.extra_info["events"] = len(trace)
+
+
+def test_fig5_sweep_end_to_end_speedup(benchmark, tmp_path_factory):
+    """Acceptance benchmark: the sweep engine must deliver >= 2x end-to-end
+    on a Fig.5-style multi-block-size classification sweep.
+
+    * **before** — the pre-refactor workflow: generate the trace (every run
+      regenerated it; there was no cache), then stream the event tuples
+      through the Appendix A transliteration
+      (:class:`ReferenceDuboisClassifier`) once per block size, recomputing
+      the block address per access.
+    * **after** — the engine workflow: load the trace from the warm on-disk
+      npz cache (generated once, adopted as columns without decoding) and
+      run :meth:`SweepEngine.classify_sweep` over the same block sizes with
+      one :class:`~repro.analysis.engine.SharedPrecompute` (decode-once
+      prefilter, per-size block ids, no-op read elision).
+
+    Both legs produce identical breakdowns; methodology and reference
+    numbers live in ``EXPERIMENTS.md``.
+    """
+    name = "MP3D200"
+    cache = WorkloadTraceCache(str(tmp_path_factory.mktemp("traces")))
+    cache.get(name)  # warm the on-disk cache outside the timed region
+
+    def before():
+        full = make_workload(name).generate()
+        tup = Trace(full.events, full.num_procs, name=name, copy=False)
+        return tuple(ReferenceDuboisClassifier.classify_trace(tup, BlockMap(bb))
+                     for bb in PAPER_BLOCK_SIZES)
+
+    def after():
+        return SweepEngine(cache.get(name)).classify_sweep(PAPER_BLOCK_SIZES)
+
+    t_before = 1e9
+    for _ in range(2):
+        t0 = time.perf_counter()
+        expected = before()
+        t_before = min(t_before, time.perf_counter() - t0)
+
+    sweep = benchmark.pedantic(after, rounds=3, iterations=1)
+    t_after = benchmark.stats.stats.min
+
+    assert sweep.breakdowns == expected  # same results, not just faster
+    events = sweep.breakdowns[0].data_refs * len(PAPER_BLOCK_SIZES)
+    ratio = t_before / t_after
+    benchmark.extra_info["before_sec"] = round(t_before, 3)
+    benchmark.extra_info["after_sec"] = round(t_after, 3)
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    benchmark.extra_info["classified_refs"] = events
+    benchmark.extra_info["refs_per_sec_after"] = int(events / t_after)
+    assert ratio >= 2.0, f"end-to-end sweep speedup {ratio:.2f}x < 2x"

@@ -1,8 +1,11 @@
 """Shared benchmark fixtures.
 
 Workload traces are generated once per configuration and cached as ``.npz``
-under ``benchmarks/_trace_cache`` so repeated benchmark runs only pay the
-simulation cost being measured, not trace generation.
+under ``benchmarks/_trace_cache`` via :class:`repro.trace.WorkloadTraceCache`
+so repeated benchmark runs only pay the simulation cost being measured, not
+trace generation.  Entries are keyed by workload name, configuration, seed
+and library version, so editing a generator invalidates its entries
+automatically.
 """
 
 from __future__ import annotations
@@ -11,16 +14,16 @@ import os
 
 import pytest
 
-from repro.trace.io import cached
-from repro.workloads import make_workload
+from repro.trace.cache import WorkloadTraceCache
 
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "_trace_cache")
+
+_CACHE = WorkloadTraceCache(CACHE_DIR)
 
 
 def workload_trace(name: str):
     """Generate-or-load the named workload's trace."""
-    path = os.path.join(CACHE_DIR, f"{name}.npz")
-    return cached(path, lambda: make_workload(name).generate())
+    return _CACHE.get(name)
 
 
 @pytest.fixture(scope="session")

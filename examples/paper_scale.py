@@ -12,7 +12,11 @@ interleaving structure while cutting classification cost; note that
 sampling biases cold-miss counts high (each window restart looks cold), so
 use it for sharing-shape exploration, not for cold-rate comparisons.
 
-Run:  python examples/paper_scale.py [--sample 0.1] [NAMES...]
+Generated traces are cached on disk (``--trace-cache DIR``, default
+``~/.cache/repro/traces`` or ``$REPRO_TRACE_CACHE``), so a second run of
+the same configuration skips the tens-of-minutes generation step entirely.
+
+Run:  python examples/paper_scale.py [--sample 0.1] [--jobs N] [NAMES...]
 e.g.  python examples/paper_scale.py --sample 0.05 LU200
 """
 
@@ -20,15 +24,17 @@ import argparse
 import time
 
 from repro.analysis import sweep_block_sizes
+from repro.trace.cache import WorkloadTraceCache
 from repro.trace.stats import benchmark_stats
-from repro.workloads import PAPER_LARGE_SUITE, make_workload
+from repro.workloads import PAPER_LARGE_SUITE
 
 
-def run_one(name, sample_fraction):
+def run_one(name, sample_fraction, cache, jobs):
     print(f"=== {name} ===")
     t0 = time.time()
-    trace = make_workload(name).generate()
-    print(f"generated {len(trace):,} events in {time.time() - t0:.0f}s")
+    trace = cache.get(name)
+    print(f"obtained {len(trace):,} events in {time.time() - t0:.0f}s "
+          f"(cache: {cache.path_for(name)})")
     stats = benchmark_stats(trace)
     print(f"  reads={stats.reads:,} writes={stats.writes:,} "
           f"acq/rel={stats.acq_rel:,} data={stats.data_set_kb:.0f}KB "
@@ -38,7 +44,7 @@ def run_one(name, sample_fraction):
         print(f"  sampled to {len(trace):,} events "
               f"(fraction {sample_fraction})")
     t0 = time.time()
-    sweep = sweep_block_sizes(trace, (32, 64, 256, 1024))
+    sweep = sweep_block_sizes(trace, (32, 64, 256, 1024), jobs=jobs)
     print(sweep.format())
     print(f"classified in {time.time() - t0:.0f}s\n")
 
@@ -49,9 +55,15 @@ def main():
                         help="workloads to run (default: the paper's three)")
     parser.add_argument("--sample", type=float, default=0.0,
                         help="trace fraction to classify (0 = all)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep (0 = one per CPU)")
+    parser.add_argument("--trace-cache", default=None, metavar="DIR",
+                        help="trace cache directory (default: "
+                             "$REPRO_TRACE_CACHE or ~/.cache/repro/traces)")
     args = parser.parse_args()
+    cache = WorkloadTraceCache(args.trace_cache)
     for name in args.names:
-        run_one(name, args.sample)
+        run_one(name, args.sample, cache, args.jobs)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ from .attribution import (
     UNMAPPED,
     attribute_misses,
 )
+from .engine import CLASSIFIERS, SharedPrecompute, SweepEngine
 from .figures import Fig5Panel, Fig6Panel, figure5, figure6
 from .prefetch import PrefetchAnalysis, PrefetchFloors, prefetch_analysis
 from .invariants import (
@@ -29,8 +30,11 @@ from .tables import (
 
 __all__ = [
     "AttributionResult",
+    "CLASSIFIERS",
     "Fig5Panel",
     "Fig6Panel",
+    "SharedPrecompute",
+    "SweepEngine",
     "SweepResult",
     "TABLE1_ROWS",
     "build_table1",

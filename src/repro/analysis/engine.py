@@ -1,0 +1,340 @@
+"""Single-generation sweep engine.
+
+The paper's experiments (Figures 5/6, Tables 1/2) all re-run one interleaved
+trace at many block sizes, under several classifiers and protocols.  The
+engine makes that cheap by doing every shareable piece of work exactly once:
+
+* **Generate once** — a workload trace is generated a single time and cached
+  in memory and on disk (:class:`~repro.trace.cache.WorkloadTraceCache`,
+  keyed by workload/config/seed/version).
+* **Precompute once** — :class:`SharedPrecompute` decodes the columnar
+  trace's data rows a single time (vectorized data-op prefilter), derives
+  acquire/release indices and per-processor segments, and caches the
+  per-block-size derived columns (block ids via one vectorized
+  ``addr >> shift``) shared by every cell at that block size.
+* **Fan out the grid** — the (block size × classifier/protocol) cells are
+  independent, so with ``jobs > 1`` they run on a ``multiprocessing`` fork
+  pool; the forked workers inherit the trace and its precompute without
+  serialization.
+
+Typical use::
+
+    engine = SweepEngine.for_workload("MP3D200", jobs=4)
+    panel = engine.classify_sweep()              # Figure 5 panel
+    grid = engine.protocol_grid((64, 1024))      # Figure 6 cells
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..classify.breakdown import DuboisBreakdown, SimpleBreakdown
+from ..classify.compare import ClassificationComparison
+from ..classify.dubois import DuboisClassifier
+from ..classify.eggers import EggersClassifier
+from ..classify.torrellas import TorrellasClassifier
+from ..errors import ConfigError
+from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
+from ..protocols.results import ProtocolResult
+from ..protocols.runner import ALL_PROTOCOLS, make_protocol
+from ..trace.cache import WorkloadTraceCache
+from ..trace.events import ACQUIRE, RELEASE, STORE
+from ..trace.trace import Trace
+from .sweep import SweepResult
+
+#: Classifier registry for grid cells.
+CLASSIFIERS = {
+    "dubois": DuboisClassifier,
+    "eggers": EggersClassifier,
+    "torrellas": TorrellasClassifier,
+}
+
+# A grid cell: (kind, block_bytes, which) with kind in
+# {"classify", "compare", "protocol"} and which naming the classifier or
+# protocol ("compare" ignores it).
+Cell = Tuple[str, int, Optional[str]]
+
+
+class SharedPrecompute:
+    """Derived columns of one trace, shared across every sweep cell.
+
+    Everything here is computed at most once per trace (lazily) no matter
+    how many block sizes, classifiers or protocols consume it:
+
+    * ``data`` — the columnar data-only rows (LOAD/STORE prefilter);
+    * :meth:`data_rows` — those rows decoded to plain-int lists, which is
+      what the streaming classifier loops iterate;
+    * :meth:`data_blocks` / :meth:`data_offset_bits` — per-block-size
+      derived columns (one vectorized shift/mask each, then decoded once);
+    * ``acquire_indices`` / ``release_indices`` — global positions of the
+      synchronization events (the delayed protocols' schedule points);
+    * :meth:`per_processor_segments` — each processor's event positions.
+    """
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.columns = trace.columns()
+        self.data = self.columns.data_only()
+        sync = self.columns.sync_indices()
+        self.acquire_indices = sync[ACQUIRE]
+        self.release_indices = sync[RELEASE]
+        self._rows: Optional[Tuple[list, list, list]] = None
+        self._blocks: Dict[int, list] = {}
+        self._offset_bits: Dict[int, list] = {}
+        self._active_rows: Dict[int, Tuple[tuple, int]] = {}
+        self._segments: Optional[List] = None
+
+    def data_rows(self) -> Tuple[list, list, list]:
+        """``(procs, ops, addrs)`` of the data rows, decoded once."""
+        if self._rows is None:
+            self._rows = (self.data.proc.tolist(), self.data.op.tolist(),
+                          self.data.addr.tolist())
+        return self._rows
+
+    def data_blocks(self, block_map: BlockMap) -> list:
+        """Precomputed block address per data row at one block size."""
+        bits = block_map.offset_bits
+        if bits not in self._blocks:
+            self._blocks[bits] = self.data.block_ids(bits).tolist()
+        return self._blocks[bits]
+
+    def data_offset_bits(self, block_map: BlockMap) -> list:
+        """Precomputed ``1 << word_offset`` per data row at one block size.
+
+        Computed from the vectorized offsets; the shift stays in Python
+        because ``1 << offset`` can exceed 63 bits for large blocks.
+        """
+        wpb = block_map.words_per_block
+        if wpb not in self._offset_bits:
+            offsets = self.data.word_offsets(wpb).tolist()
+            self._offset_bits[wpb] = [1 << o for o in offsets]
+        return self._offset_bits[wpb]
+
+    def dubois_active_rows(self, block_map: BlockMap
+                           ) -> Tuple[Optional[tuple], int]:
+        """Data rows that can change Dubois state at one block size.
+
+        Returns ``((procs, ops, addrs, blocks), dropped)`` where the lists
+        hold only *active* rows and ``dropped`` is the number of elided
+        rows (they still count as data references).
+
+        A read is provably a no-op in the Appendix A algorithm when it is
+        not the first access by its processor to its block and no *other*
+        processor ever stores to that block anywhere in the trace: the
+        reader's presence bit is then already set and can never have been
+        cleared (only a remote store clears it), and its C flag can never
+        be set (only a remote store sets it).  Dropping such reads leaves
+        every state transition — and therefore every count — identical.
+        Stores and first touches are always kept.  The filter itself is a
+        handful of vectorized passes over the columnar arrays.
+
+        Returns ``(None, 0)`` when the filter does not apply (processor
+        counts that overflow an int64 bitmask).
+        """
+        bits = block_map.offset_bits
+        if bits not in self._active_rows:
+            num_procs = self.trace.num_procs
+            if num_procs > 62:
+                self._active_rows[bits] = (None, 0)
+                return self._active_rows[bits]
+            blocks = self.data.block_ids(bits)
+            procs = self.data.proc
+            store = self.data.op == STORE
+            proc_bits = np.int64(1) << procs
+            unique_blocks, inverse = np.unique(blocks, return_inverse=True)
+            writers = np.zeros(len(unique_blocks), dtype=np.int64)
+            np.bitwise_or.at(writers, inverse[store], proc_bits[store])
+            keep = store | ((writers[inverse] & ~proc_bits) != 0)
+            pair_key = inverse * np.int64(num_procs) + procs
+            _, first_touch = np.unique(pair_key, return_index=True)
+            keep[first_touch] = True
+            dropped = int(len(keep) - keep.sum())
+            if dropped == 0:
+                rows = None  # nothing elided: reuse the shared full rows
+            else:
+                rows = (self.data.proc[keep].tolist(),
+                        self.data.op[keep].tolist(),
+                        self.data.addr[keep].tolist(),
+                        blocks[keep].tolist())
+            self._active_rows[bits] = (rows, dropped)
+        return self._active_rows[bits]
+
+    def per_processor_segments(self) -> List:
+        """Index array of each processor's events (program order)."""
+        if self._segments is None:
+            self._segments = self.columns.per_processor_indices(
+                self.trace.num_procs)
+        return self._segments
+
+    # ------------------------------------------------------------------
+    # cell execution
+    # ------------------------------------------------------------------
+    def run_classifier(self, which: str, block_bytes: int
+                       ) -> Union[DuboisBreakdown, SimpleBreakdown]:
+        """Run one classifier cell over the shared decoded rows."""
+        try:
+            cls = CLASSIFIERS[which]
+        except KeyError:
+            raise ConfigError(
+                f"unknown classifier {which!r}; known: "
+                f"{sorted(CLASSIFIERS)}") from None
+        block_map = BlockMap(block_bytes)
+        clf = cls(self.trace.num_procs, block_map)
+        if which == "dubois":
+            rows, dropped = self.dubois_active_rows(block_map)
+            if rows is not None:
+                clf.feed_data(*rows)
+                # Elided no-op reads still count as data references.
+                return dataclasses.replace(clf.finish(),
+                                           data_refs=clf._data_refs + dropped)
+        procs, ops, addrs = self.data_rows()
+        blocks = self.data_blocks(block_map)
+        if which == "eggers":
+            clf.feed_data(procs, ops, addrs, blocks,
+                          self.data_offset_bits(block_map))
+        else:
+            clf.feed_data(procs, ops, addrs, blocks)
+        return clf.finish()
+
+    def run_comparison(self, block_bytes: int) -> ClassificationComparison:
+        """Run all three classifiers (one Table 1 column) in one cell."""
+        return ClassificationComparison(
+            trace_name=self.trace.name or "<anonymous>",
+            block_bytes=block_bytes,
+            ours=self.run_classifier("dubois", block_bytes),
+            eggers=self.run_classifier("eggers", block_bytes),
+            torrellas=self.run_classifier("torrellas", block_bytes),
+        )
+
+    def run_protocol(self, name: str, block_bytes: int) -> ProtocolResult:
+        """Run one protocol cell over the shared trace.
+
+        The trace's decoded event list is materialized once per process and
+        shared by every protocol cell (the runner batching path).
+        """
+        protocol = make_protocol(name, self.trace.num_procs,
+                                 BlockMap(block_bytes))
+        return protocol.run(self.trace)
+
+    def run_cell(self, cell: Cell):
+        kind, block_bytes, which = cell
+        if kind == "classify":
+            return self.run_classifier(which, block_bytes)
+        if kind == "compare":
+            return self.run_comparison(block_bytes)
+        if kind == "protocol":
+            return self.run_protocol(which, block_bytes)
+        raise ConfigError(f"unknown grid cell kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# fork-pool plumbing
+# ----------------------------------------------------------------------
+# The forked workers inherit this module-level state from the parent; with
+# the fork start method nothing is pickled.
+_FORK_PRECOMPUTE: Optional[SharedPrecompute] = None
+
+
+def _run_cell_in_worker(cell: Cell):
+    return _FORK_PRECOMPUTE.run_cell(cell)
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class SweepEngine:
+    """Generate-once, precompute-once, fan-out experiment driver.
+
+    Parameters
+    ----------
+    trace:
+        The interleaved trace every grid cell runs over.
+    jobs:
+        Worker processes for grid fan-out.  ``1`` (default) runs serially
+        in-process; ``None`` or ``0`` means one per CPU.  Parallel execution
+        requires the ``fork`` start method (it is skipped, falling back to
+        serial, where unavailable).
+    """
+
+    def __init__(self, trace: Trace, *, jobs: int = 1):
+        self.trace = trace
+        self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
+        self._precompute: Optional[SharedPrecompute] = None
+
+    @classmethod
+    def for_workload(cls, name: str, *, jobs: int = 1,
+                     cache: Optional[WorkloadTraceCache] = None,
+                     cache_dir: Optional[str] = None) -> "SweepEngine":
+        """Build an engine over a named workload's cached trace.
+
+        The trace is generated at most once per (workload, config, seed,
+        version) and reloaded from ``cache_dir`` afterwards.
+        """
+        cache = cache or WorkloadTraceCache(cache_dir)
+        return cls(cache.get(name), jobs=jobs)
+
+    @property
+    def precompute(self) -> SharedPrecompute:
+        """The trace's shared derived columns (built lazily, cached)."""
+        if self._precompute is None:
+            self._precompute = SharedPrecompute(self.trace)
+        return self._precompute
+
+    # ------------------------------------------------------------------
+    # grid execution
+    # ------------------------------------------------------------------
+    def run_grid(self, cells: Sequence[Cell]) -> List:
+        """Run every cell, returning results in cell order."""
+        pre = self.precompute
+        jobs = min(self.jobs, len(cells)) if cells else 1
+        if jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+            # Warm the shared state in the parent so every forked worker
+            # inherits it instead of re-deriving it per process.
+            pre.data_rows()
+            global _FORK_PRECOMPUTE
+            _FORK_PRECOMPUTE = pre
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=jobs) as pool:
+                    return pool.map(_run_cell_in_worker, cells, chunksize=1)
+            finally:
+                _FORK_PRECOMPUTE = None
+        return [pre.run_cell(cell) for cell in cells]
+
+    # ------------------------------------------------------------------
+    # the paper's sweeps
+    # ------------------------------------------------------------------
+    def classify_sweep(self, block_sizes: Optional[Sequence[int]] = None,
+                       *, classifier: str = "dubois") -> SweepResult:
+        """Figure 5 panel: one classifier across block sizes."""
+        sizes = tuple(block_sizes or PAPER_BLOCK_SIZES)
+        cells = [("classify", bb, classifier) for bb in sizes]
+        breakdowns = tuple(self.run_grid(cells))
+        return SweepResult(trace_name=self.trace.name or "<anonymous>",
+                           block_sizes=sizes, breakdowns=breakdowns)
+
+    def compare_sweep(self, block_sizes: Optional[Sequence[int]] = None
+                      ) -> Dict[int, ClassificationComparison]:
+        """Table 1 columns: the three-way comparison across block sizes."""
+        sizes = tuple(block_sizes or PAPER_BLOCK_SIZES)
+        cells = [("compare", bb, None) for bb in sizes]
+        return dict(zip(sizes, self.run_grid(cells)))
+
+    def protocol_grid(self, block_sizes: Sequence[int],
+                      protocols: Optional[Sequence[str]] = None
+                      ) -> Dict[Tuple[int, str], ProtocolResult]:
+        """Figure 6 cells: every (block size × protocol) combination."""
+        names = list(protocols) if protocols is not None else list(ALL_PROTOCOLS)
+        sizes = tuple(block_sizes)
+        cells = [("protocol", bb, name) for bb in sizes for name in names]
+        results = self.run_grid(cells)
+        return {(bb, name): result
+                for (_, bb, name), result in zip(cells, results)}

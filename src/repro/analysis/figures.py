@@ -28,9 +28,14 @@ class Fig5Panel:
 
 
 def figure5(traces: Sequence[Trace],
-            block_sizes: Optional[Sequence[int]] = None) -> Dict[str, Fig5Panel]:
-    """Figure 5: classification vs block size, one panel per benchmark."""
-    return {trace.name: Fig5Panel(sweep_block_sizes(trace, block_sizes))
+            block_sizes: Optional[Sequence[int]] = None,
+            *, jobs: int = 1) -> Dict[str, Fig5Panel]:
+    """Figure 5: classification vs block size, one panel per benchmark.
+
+    ``jobs > 1`` fans each panel's block sizes out over worker processes.
+    """
+    return {trace.name: Fig5Panel(sweep_block_sizes(trace, block_sizes,
+                                                    jobs=jobs))
             for trace in traces}
 
 
@@ -78,11 +83,15 @@ class Fig6Panel:
 
 
 def figure6(traces: Sequence[Trace], block_bytes: int,
-            protocols: Optional[Sequence[str]] = None) -> Dict[str, Fig6Panel]:
-    """Figure 6 (a: B=64, b: B=1024): protocol comparison per benchmark."""
+            protocols: Optional[Sequence[str]] = None,
+            *, jobs: int = 1) -> Dict[str, Fig6Panel]:
+    """Figure 6 (a: B=64, b: B=1024): protocol comparison per benchmark.
+
+    ``jobs > 1`` fans each benchmark's protocols out over worker processes.
+    """
     panels = {}
     for trace in traces:
-        results = run_protocols(trace, block_bytes, protocols)
+        results = run_protocols(trace, block_bytes, protocols, jobs=jobs)
         panels[trace.name] = Fig6Panel(trace_name=trace.name,
                                        block_bytes=block_bytes,
                                        results=results)

@@ -6,9 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..classify.breakdown import DuboisBreakdown, MissClass
-from ..classify.compare import ClassificationComparison, compare_classifications
-from ..classify.dubois import DuboisClassifier
-from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
+from ..classify.compare import ClassificationComparison
 from ..trace.trace import Trace
 from .report import format_table
 
@@ -48,19 +46,23 @@ class SweepResult:
 
 
 def sweep_block_sizes(trace: Trace,
-                      block_sizes: Optional[Sequence[int]] = None
-                      ) -> SweepResult:
-    """Classify ``trace`` at each block size (default: the paper's 4..1024)."""
-    sizes = tuple(block_sizes or PAPER_BLOCK_SIZES)
-    breakdowns = tuple(
-        DuboisClassifier.classify_trace(trace, BlockMap(bb)) for bb in sizes)
-    return SweepResult(trace_name=trace.name or "<anonymous>",
-                       block_sizes=sizes, breakdowns=breakdowns)
+                      block_sizes: Optional[Sequence[int]] = None,
+                      *, jobs: int = 1) -> SweepResult:
+    """Classify ``trace`` at each block size (default: the paper's 4..1024).
+
+    Runs on the sweep engine: the trace's data rows are decoded once and
+    shared by every block size, and ``jobs > 1`` fans the block sizes out
+    over worker processes (see :class:`repro.analysis.engine.SweepEngine`).
+    """
+    from .engine import SweepEngine  # deferred: engine imports SweepResult
+
+    return SweepEngine(trace, jobs=jobs).classify_sweep(block_sizes)
 
 
 def sweep_comparisons(trace: Trace,
-                      block_sizes: Optional[Sequence[int]] = None
-                      ) -> Dict[int, ClassificationComparison]:
+                      block_sizes: Optional[Sequence[int]] = None,
+                      *, jobs: int = 1) -> Dict[int, ClassificationComparison]:
     """Three-way classifier comparison at each block size."""
-    sizes = tuple(block_sizes or PAPER_BLOCK_SIZES)
-    return {bb: compare_classifications(trace, bb) for bb in sizes}
+    from .engine import SweepEngine  # deferred: engine imports SweepResult
+
+    return SweepEngine(trace, jobs=jobs).compare_sweep(block_sizes)

@@ -11,6 +11,7 @@ from .breakdown import (
 from .compare import ClassificationComparison, compare_classifications
 from .dubois import DuboisClassifier, classify
 from .eggers import EggersClassifier
+from .reference import ReferenceDuboisClassifier
 from .torrellas import TorrellasClassifier
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "EggersClassifier",
     "MissClass",
     "MissRecord",
+    "ReferenceDuboisClassifier",
     "SimpleBreakdown",
     "TorrellasClassifier",
     "classify",

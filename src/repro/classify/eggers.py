@@ -61,9 +61,28 @@ class EggersClassifier:
             raise TraceError("classifier already finished")
         if op != LOAD and op != STORE:
             raise TraceError(f"access expects LOAD/STORE, got op {op}")
+        self._access(proc, op,
+                     self.block_map.block_of(word_addr),
+                     1 << self.block_map.word_offset(word_addr))
+
+    def feed_data(self, procs, ops, addrs, blocks, offset_bits) -> None:
+        """Fast path: consume pre-decoded, pre-filtered data references.
+
+        Equal-length sequences of **LOAD/STORE rows only**, with ``blocks``
+        the precomputed block addresses and ``offset_bits`` the precomputed
+        ``1 << word_offset`` masks (both derived vectorized from the
+        columnar trace; ``addrs`` is accepted for interface symmetry).
+        """
+        if self._finished:
+            raise TraceError("classifier already finished")
+        acc = self._access
+        for proc, op, block, offset_bit in zip(procs, ops, blocks,
+                                               offset_bits):
+            acc(proc, op, block, offset_bit)
+
+    def _access(self, proc: int, op: int, block: int,
+                offset_bit: int) -> None:
         self._data_refs += 1
-        block = self.block_map.block_of(word_addr)
-        offset_bit = 1 << self.block_map.word_offset(word_addr)
         bit = 1 << proc
 
         referenced = self._referenced.get(block, 0)
@@ -133,8 +152,16 @@ class EggersClassifier:
     def classify_trace(cls, trace: Trace, block_map: BlockMap) -> SimpleBreakdown:
         """Classify a whole trace at one block size."""
         clf = cls(trace.num_procs, block_map)
-        access = clf.access
-        for proc, op, addr in trace.events:
-            if op == LOAD or op == STORE:
-                access(proc, op, addr)
+        if trace.has_columns:
+            data = trace.columns().data_only()
+            offsets = data.word_offsets(block_map.words_per_block).tolist()
+            clf.feed_data(data.proc.tolist(), data.op.tolist(),
+                          data.addr.tolist(),
+                          data.block_ids(block_map.offset_bits).tolist(),
+                          [1 << o for o in offsets])
+        else:
+            access = clf.access
+            for proc, op, addr in trace.events:
+                if op == LOAD or op == STORE:
+                    access(proc, op, addr)
         return clf.finish()

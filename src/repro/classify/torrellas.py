@@ -60,8 +60,24 @@ class TorrellasClassifier:
             raise TraceError("classifier already finished")
         if op != LOAD and op != STORE:
             raise TraceError(f"access expects LOAD/STORE, got op {op}")
+        self._access(proc, op, word_addr, self.block_map.block_of(word_addr))
+
+    def feed_data(self, procs, ops, addrs, blocks) -> None:
+        """Fast path: consume pre-decoded, pre-filtered data references.
+
+        Equal-length sequences of **LOAD/STORE rows only**, with ``blocks``
+        the precomputed block address of each access (vectorized
+        ``addr >> shift`` from the columnar trace).
+        """
+        if self._finished:
+            raise TraceError("classifier already finished")
+        acc = self._access
+        for proc, op, addr, block in zip(procs, ops, addrs, blocks):
+            acc(proc, op, addr, block)
+
+    def _access(self, proc: int, op: int, word_addr: int,
+                block: int) -> None:
         self._data_refs += 1
-        block = self.block_map.block_of(word_addr)
         bit = 1 << proc
 
         block_valid = self._block_valid.get(block, 0)
@@ -110,8 +126,14 @@ class TorrellasClassifier:
     def classify_trace(cls, trace: Trace, block_map: BlockMap) -> SimpleBreakdown:
         """Classify a whole trace at one block size."""
         clf = cls(trace.num_procs, block_map)
-        access = clf.access
-        for proc, op, addr in trace.events:
-            if op == LOAD or op == STORE:
-                access(proc, op, addr)
+        if trace.has_columns:
+            data = trace.columns().data_only()
+            clf.feed_data(data.proc.tolist(), data.op.tolist(),
+                          data.addr.tolist(),
+                          data.block_ids(block_map.offset_bits).tolist())
+        else:
+            access = clf.access
+            for proc, op, addr in trace.events:
+                if op == LOAD or op == STORE:
+                    access(proc, op, addr)
         return clf.finish()

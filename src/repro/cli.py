@@ -32,14 +32,25 @@ from .errors import ReproError
 from .mem.addresses import BlockMap
 from .protocols.runner import protocol_names, run_protocol, run_protocols
 from .trace import io as trace_io
+from .trace.cache import WorkloadTraceCache, default_cache_dir
 from .trace.trace import Trace
 from .trace.validate import check_races
 from .workloads.registry import NAMED_CONFIGS, make_workload, suite
 
 
-def _load_trace(spec: str) -> Trace:
+def _trace_cache(args) -> "WorkloadTraceCache | None":
+    """The workload trace cache selected by ``--trace-cache``, if any."""
+    directory = getattr(args, "trace_cache", None)
+    if directory is None:
+        return None
+    return WorkloadTraceCache(directory or None)
+
+
+def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
     """Resolve a trace argument: a named workload or a trace file path."""
     if spec in NAMED_CONFIGS:
+        if cache is not None:
+            return cache.get(spec)
         return make_workload(spec).generate()
     if spec.endswith(".npz"):
         return trace_io.load_npz(spec)
@@ -50,6 +61,14 @@ def _load_trace(spec: str) -> Trace:
         f"nor a .npz/.trc trace file")
 
 
+def _suite_traces(which: str, cache: "WorkloadTraceCache | None"):
+    """Generate (or load cached) traces for a whole suite."""
+    workloads = suite(which)
+    if cache is not None:
+        return [cache.get(wl) for wl in workloads]
+    return [wl.generate() for wl in workloads]
+
+
 def _cmd_classify(args) -> int:
     trace = _load_trace(args.trace)
     breakdown = DuboisClassifier.classify_trace(trace, BlockMap(args.block))
@@ -58,8 +77,8 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    trace = _load_trace(args.trace)
-    print(sweep_block_sizes(trace).format())
+    trace = _load_trace(args.trace, _trace_cache(args))
+    print(sweep_block_sizes(trace, jobs=args.jobs).format())
     return 0
 
 
@@ -86,17 +105,17 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_fig5(args) -> int:
-    traces = [wl.generate() for wl in suite(args.suite)]
-    for name, panel in figure5(traces).items():
+    traces = _suite_traces(args.suite, _trace_cache(args))
+    for name, panel in figure5(traces, jobs=args.jobs).items():
         print(panel.format())
         print()
     return 0
 
 
 def _cmd_fig6(args) -> int:
-    traces = [wl.generate() for wl in suite(args.suite)]
+    traces = _suite_traces(args.suite, _trace_cache(args))
     for block in args.blocks:
-        for name, panel in figure6(traces, block).items():
+        for name, panel in figure6(traces, block, jobs=args.jobs).items():
             print(panel.format_table())
             print()
     return 0
@@ -157,6 +176,17 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--trace-cache`` shared by the sweep-style commands."""
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the experiment grid "
+                        "(1 = serial, 0 = one per CPU)")
+    p.add_argument("--trace-cache", nargs="?", const="", default=None,
+                   metavar="DIR",
+                   help="cache generated workload traces as .npz under DIR "
+                        f"(no DIR: {default_cache_dir()})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="Figure 5 sweep for one trace")
     p.add_argument("trace")
+    _add_engine_args(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("simulate", help="run protocol simulations")
@@ -191,12 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig5", help="reproduce Figure 5")
     p.add_argument("--suite", default="small",
                    choices=("small", "large", "paper-large"))
+    _add_engine_args(p)
     p.set_defaults(func=_cmd_fig5)
 
     p = sub.add_parser("fig6", help="reproduce Figure 6")
     p.add_argument("--suite", default="small",
                    choices=("small", "large", "paper-large"))
     p.add_argument("--blocks", nargs="*", type=int, default=[64, 1024])
+    _add_engine_args(p)
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("attribute",

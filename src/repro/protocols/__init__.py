@@ -15,6 +15,7 @@ from .runner import (
     make_protocol,
     protocol_names,
     run_protocol,
+    run_protocol_grid,
     run_protocols,
 )
 from .sd import SDProtocol
@@ -50,6 +51,7 @@ __all__ = [
     "protocol_names",
     "register",
     "run_protocol",
+    "run_protocol_grid",
     "run_protocols",
     "sector_sweep_sizes",
 ]

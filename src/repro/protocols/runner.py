@@ -53,14 +53,41 @@ def run_protocol(name: str, trace: Trace, block_bytes: int) -> ProtocolResult:
 
 
 def run_protocols(trace: Trace, block_bytes: int,
-                  names: Optional[Iterable[str]] = None
-                  ) -> Dict[str, ProtocolResult]:
+                  names: Optional[Iterable[str]] = None,
+                  *, jobs: int = 1) -> Dict[str, ProtocolResult]:
     """Run several protocols over the same trace.
 
     Defaults to the paper's seven schedules (:data:`ALL_PROTOCOLS`);
     extension protocols (WU, CU, ...) must be requested by name.  Returns
     ``{name: result}`` in the given order — the data behind one
     benchmark's group of bars in the paper's Figure 6.
+
+    All protocols share the trace's decoded event list (it is materialized
+    at most once), and ``jobs > 1`` fans the protocols out over worker
+    processes via the sweep engine.
     """
     chosen = list(names) if names is not None else list(ALL_PROTOCOLS)
+    if jobs != 1:
+        # Deferred import: repro.analysis builds on repro.protocols.
+        from ..analysis.engine import SweepEngine
+
+        grid = SweepEngine(trace, jobs=jobs).protocol_grid((block_bytes,),
+                                                           chosen)
+        return {name: grid[(block_bytes, name)] for name in chosen}
     return {name: run_protocol(name, trace, block_bytes) for name in chosen}
+
+
+def run_protocol_grid(trace: Trace, block_sizes: Iterable[int],
+                      names: Optional[Iterable[str]] = None,
+                      *, jobs: int = 1) -> Dict[tuple, ProtocolResult]:
+    """Run a (block size × protocol) grid over one shared trace.
+
+    Returns ``{(block_bytes, name): result}``.  This is the batched form of
+    :func:`run_protocols` behind Figure 6a+6b-style experiments: the trace
+    is decoded once and every cell fans out over ``jobs`` workers.
+    """
+    from ..analysis.engine import SweepEngine
+
+    chosen = list(names) if names is not None else list(ALL_PROTOCOLS)
+    return SweepEngine(trace, jobs=jobs).protocol_grid(tuple(block_sizes),
+                                                       chosen)

@@ -1,6 +1,8 @@
 """Trace model, construction, serialization, validation and statistics."""
 
 from .builder import TraceBuilder
+from .cache import WorkloadTraceCache, default_cache_dir, workload_cache_key
+from .columnar import TraceColumns
 from .events import (
     ACQUIRE,
     DATA_OPS,
@@ -52,13 +54,16 @@ __all__ = [
     "SYNC_OPS",
     "Trace",
     "TraceBuilder",
+    "TraceColumns",
     "TraceCounts",
     "WORD_SIZE",
+    "WorkloadTraceCache",
     "assert_race_free",
     "benchmark_stats",
     "cached",
     "check_races",
     "count_ops",
+    "default_cache_dir",
     "dumps_text",
     "format_event",
     "is_data_op",
@@ -78,4 +83,5 @@ __all__ = [
     "save_text",
     "sync_pairs_balanced",
     "validate_event",
+    "workload_cache_key",
 ]

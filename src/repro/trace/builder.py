@@ -89,4 +89,7 @@ class TraceBuilder:
 
     def build(self, name: str = "", meta: Optional[dict] = None) -> Trace:
         """Produce the (validated) :class:`~repro.trace.trace.Trace`."""
-        return Trace(list(self._events), self.num_procs, name=name, meta=meta)
+        # list() already gives the trace a private copy (the builder may be
+        # extended afterwards), so skip Trace's defensive copy.
+        return Trace(list(self._events), self.num_procs, name=name, meta=meta,
+                     copy=False)

@@ -1,0 +1,108 @@
+"""On-disk (+ in-memory) cache of generated workload traces.
+
+Generating a benchmark trace costs minutes of simulated-machine time;
+re-running an experiment over the same workload should not pay that again.
+:class:`WorkloadTraceCache` stores each generated trace as a compact
+``.npz`` keyed by **workload name, full configuration, seed and library
+version**, so a cache entry is invalidated automatically whenever anything
+that could change the generated events changes.
+
+Used by the sweep engine (:mod:`repro.analysis.engine`), the CLI
+(``--trace-cache``), ``benchmarks/conftest.py`` and
+``examples/paper_scale.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Union
+
+from .io import load_npz, save_npz
+from .trace import Trace
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE"
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_TRACE_CACHE`` or ``~/.cache/repro/traces``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "traces")
+
+
+def workload_cache_key(workload) -> str:
+    """Stable cache key for one workload configuration.
+
+    Combines the workload's name, its full configuration dictionary, its
+    seed and the library version; any difference produces a different key.
+    """
+    from .. import __version__
+
+    payload = {
+        "workload": workload.name,
+        "label": workload.label,
+        "config": workload.describe_config(),
+        "seed": workload.seed,
+        "version": __version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    digest = hashlib.sha1(blob.encode()).hexdigest()[:16]
+    return f"{workload.label}-{digest}"
+
+
+class WorkloadTraceCache:
+    """Generate-once cache of workload traces.
+
+    Parameters
+    ----------
+    directory:
+        Where ``.npz`` entries live (created on first write).  Defaults to
+        :func:`default_cache_dir`.
+    memory:
+        Keep loaded traces in an in-process dictionary as well, so repeated
+        ``get`` calls within one process return the same object without
+        touching disk.
+    """
+
+    def __init__(self, directory: Optional[str] = None, *,
+                 memory: bool = True):
+        self.directory = directory or default_cache_dir()
+        self._memory: Optional[Dict[str, Trace]] = {} if memory else None
+
+    # ------------------------------------------------------------------
+    def _resolve(self, workload: Union[str, object]):
+        if isinstance(workload, str):
+            from ..workloads.registry import make_workload
+            return make_workload(workload)
+        return workload
+
+    def path_for(self, workload: Union[str, object]) -> str:
+        """On-disk path of the cache entry for a workload (or its name)."""
+        wl = self._resolve(workload)
+        return os.path.join(self.directory, f"{workload_cache_key(wl)}.npz")
+
+    def get(self, workload: Union[str, object]) -> Trace:
+        """Load the workload's trace from cache, generating it on a miss."""
+        wl = self._resolve(workload)
+        key = workload_cache_key(wl)
+        if self._memory is not None and key in self._memory:
+            return self._memory[key]
+        path = os.path.join(self.directory, f"{key}.npz")
+        if os.path.exists(path):
+            trace = load_npz(path)
+        else:
+            trace = wl.generate()
+            os.makedirs(self.directory, exist_ok=True)
+            save_npz(trace, path)
+        if self._memory is not None:
+            self._memory[key] = trace
+        return trace
+
+    def clear_memory(self) -> None:
+        """Drop the in-process cache (disk entries are kept)."""
+        if self._memory is not None:
+            self._memory.clear()

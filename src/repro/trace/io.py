@@ -21,6 +21,7 @@ from typing import List
 import numpy as np
 
 from ..errors import TraceError, TraceFormatError
+from .columnar import TraceColumns
 from .events import Event, op_from_name, op_name
 from .trace import Trace
 
@@ -59,7 +60,11 @@ def loads_text(text: str) -> Trace:
         if parts[0] == "num_procs":
             if len(parts) != 2:
                 raise TraceFormatError(f"line {lineno}: bad num_procs line {raw!r}")
-            num_procs = int(parts[1])
+            try:
+                num_procs = int(parts[1])
+            except ValueError:
+                raise TraceFormatError(
+                    f"line {lineno}: bad num_procs value {parts[1]!r}") from None
             continue
         if len(parts) != 3:
             raise TraceFormatError(f"line {lineno}: expected 'proc OP addr', got {raw!r}")
@@ -72,7 +77,7 @@ def loads_text(text: str) -> Trace:
         events.append((proc, op, addr))
     if num_procs is None:
         raise TraceFormatError("missing num_procs line")
-    return Trace(events, num_procs, name=name)
+    return Trace(events, num_procs, name=name, copy=False)
 
 
 def save_text(trace: Trace, path: str) -> None:
@@ -91,18 +96,15 @@ def load_text(path: str) -> Trace:
 # npz format
 # ----------------------------------------------------------------------
 def save_npz(trace: Trace, path: str) -> None:
-    """Write the compact NumPy format to ``path``."""
-    n = len(trace.events)
-    proc = np.empty(n, dtype=np.int64)
-    op = np.empty(n, dtype=np.int64)
-    addr = np.empty(n, dtype=np.int64)
-    for i, (p, o, a) in enumerate(trace.events):
-        proc[i] = p
-        op[i] = o
-        addr[i] = a
+    """Write the compact NumPy format to ``path``.
+
+    The trace's columnar core is written as-is (zero-copy for traces that
+    already carry columns, e.g. anything loaded from ``.npz``).
+    """
+    cols = trace.columns()
     header = json.dumps({"name": trace.name, "num_procs": trace.num_procs,
                          "meta": _jsonable(trace.meta)})
-    np.savez_compressed(path, proc=proc, op=op, addr=addr,
+    np.savez_compressed(path, proc=cols.proc, op=cols.op, addr=cols.addr,
                         header=np.array(header))
 
 
@@ -119,11 +121,17 @@ def load_npz(path: str) -> Trace:
     proc = data["proc"]
     op = data["op"]
     addr = data["addr"]
+    if proc.ndim != 1 or op.ndim != 1 or addr.ndim != 1:
+        raise TraceFormatError(f"{path!r} has non-1D trace arrays")
     if not (len(proc) == len(op) == len(addr)):
         raise TraceFormatError(f"{path!r} has unequal array lengths")
-    events = list(zip(proc.tolist(), op.tolist(), addr.tolist()))
-    return Trace(events, header["num_procs"], name=header.get("name", ""),
-                 meta=header.get("meta") or {})
+    try:
+        cols = TraceColumns(proc, op, addr)
+        return Trace.from_columns(cols, header["num_procs"],
+                                  name=header.get("name", ""),
+                                  meta=header.get("meta") or {})
+    except TraceError as exc:
+        raise TraceFormatError(f"{path!r}: {exc}") from None
 
 
 def _jsonable(meta: dict) -> dict:

@@ -3,13 +3,28 @@
 A trace is an interleaved, *totally ordered* sequence of events from a fixed
 number of processors (the paper uses trace-driven simulation precisely so
 that the interleaving is fixed across protocol experiments — section 5.0).
+
+Internally a trace holds one (or both) of two equivalent representations:
+
+* the classic **tuple list** — ``[(proc, op, addr), ...]`` — which every
+  streaming consumer (classifiers, protocols, validators) iterates;
+* the **columnar core** — :class:`~repro.trace.columnar.TraceColumns`,
+  three parallel int64 NumPy arrays — which vectorized consumers (the sweep
+  engine, I/O, statistics) operate on directly.
+
+Whichever representation a trace is built from, the other is derived
+lazily on first use and cached, so existing tuple-based code keeps working
+unchanged while array-based code avoids ever materializing tuples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..errors import TraceError
+from .columnar import TraceColumns
 from .events import (
     ACQUIRE,
     DATA_OPS,
@@ -29,7 +44,8 @@ class Trace:
     ----------
     events:
         Sequence of ``(proc, op, addr)`` tuples in global (interleaved)
-        order.
+        order, or a :class:`~repro.trace.columnar.TraceColumns` holding the
+        same data as parallel arrays (stored by reference, zero-copy).
     num_procs:
         Number of processors.  If omitted it is inferred as ``max(proc)+1``.
     name:
@@ -39,52 +55,115 @@ class Trace:
         simulated data-set size, ...).  Stored by reference.
     validate:
         When true (default), every event is checked for well-formedness.
+    copy:
+        When true (default), a tuple-sequence input is defensively copied
+        with ``list(events)``.  Trusted internal callers that hand over a
+        freshly built list they will never mutate again (the builder, the
+        I/O readers, the interleavers, the machine scheduler) pass
+        ``copy=False`` to skip that O(n) copy.  Ignored for columnar input,
+        which is always stored by reference.
     """
 
-    __slots__ = ("events", "num_procs", "name", "meta")
+    __slots__ = ("_events", "_columns", "num_procs", "name", "meta")
 
-    def __init__(self, events: Sequence[Event], num_procs: Optional[int] = None,
+    def __init__(self,
+                 events: Union[Sequence[Event], TraceColumns],
+                 num_procs: Optional[int] = None,
                  *, name: str = "", meta: Optional[dict] = None,
-                 validate: bool = True):
-        events = list(events)
+                 validate: bool = True, copy: bool = True):
+        columns: Optional[TraceColumns] = None
+        if isinstance(events, TraceColumns):
+            columns = events
+            events = None
+        else:
+            if copy or not isinstance(events, list):
+                events = list(events)
         if num_procs is None:
-            num_procs = 1 + max((ev[0] for ev in events), default=-1)
-            if num_procs == 0:
-                num_procs = 1
+            if columns is not None:
+                num_procs = columns.infer_num_procs()
+            else:
+                num_procs = 1 + max((ev[0] for ev in events), default=-1)
+                if num_procs == 0:
+                    num_procs = 1
         if num_procs <= 0:
             raise TraceError(f"num_procs must be positive, got {num_procs}")
         if validate:
-            for ev in events:
-                validate_event(ev, num_procs)
-        self.events: List[Event] = events
+            if columns is not None:
+                columns.validate(num_procs)
+            else:
+                for ev in events:
+                    validate_event(ev, num_procs)
+        self._events: Optional[List[Event]] = events
+        self._columns: Optional[TraceColumns] = columns
         self.num_procs: int = num_procs
         self.name: str = name
         self.meta: dict = dict(meta or {})
 
     # ------------------------------------------------------------------
+    # representations
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Event]:
+        """The tuple-list representation (materialized lazily and cached)."""
+        if self._events is None:
+            self._events = self._columns.to_events()
+        return self._events
+
+    def columns(self) -> TraceColumns:
+        """The columnar representation (built lazily and cached)."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_events(self._events)
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """True if the columnar representation is already built."""
+        return self._columns is not None
+
+    @classmethod
+    def from_columns(cls, columns: TraceColumns,
+                     num_procs: Optional[int] = None,
+                     *, name: str = "", meta: Optional[dict] = None,
+                     validate: bool = True) -> "Trace":
+        """Build a trace directly over parallel arrays (zero-copy)."""
+        return cls(columns, num_procs, name=name, meta=meta,
+                   validate=validate)
+
+    # ------------------------------------------------------------------
     # sequence protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is not None:
+            return len(self._events)
+        return len(self._columns)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Trace(self.events[index], self.num_procs,
+            if self._events is None:
+                # Columnar-only trace: slice as NumPy views, zero-copy.
+                return Trace(self._columns[index], self.num_procs,
+                             name=self.name, meta=self.meta, validate=False)
+            return Trace(self._events[index], self.num_procs,
                          name=self.name, meta=self.meta, validate=False)
-        return self.events[index]
+        if self._events is None:
+            return self._columns[index]
+        return self._events[index]
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Trace):
             return NotImplemented
-        return (self.events == other.events
-                and self.num_procs == other.num_procs)
+        if self.num_procs != other.num_procs:
+            return False
+        if self._columns is not None and other._columns is not None:
+            return self._columns == other._columns
+        return self.events == other.events
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" {self.name!r}" if self.name else ""
-        return (f"<Trace{label}: {len(self.events)} events, "
+        return (f"<Trace{label}: {len(self)} events, "
                 f"{self.num_procs} procs>")
 
     # ------------------------------------------------------------------
@@ -103,17 +182,27 @@ class Trace:
 
     def touched_words(self) -> set:
         """Set of word addresses touched by data accesses."""
-        return {addr for _, op, addr in self.events if op in DATA_OPS}
+        if self._columns is not None:
+            return set(self._columns.touched_words().tolist())
+        return {addr for _, op, addr in self._events if op in DATA_OPS}
 
     def touched_blocks(self, block_map) -> set:
         """Set of block addresses touched by data accesses."""
+        if self._columns is not None:
+            cols = self._columns
+            blocks = cols.block_ids(block_map.offset_bits)[cols.data_mask()]
+            return set(np.unique(blocks).tolist())
         return {block_map.block_of(addr)
-                for _, op, addr in self.events if op in DATA_OPS}
+                for _, op, addr in self._events if op in DATA_OPS}
 
     def counts(self) -> "TraceCounts":
         """Event counts by opcode (see :class:`TraceCounts`)."""
+        if self._columns is not None:
+            per_op = self._columns.op_counts()
+            return TraceCounts(int(per_op[LOAD]), int(per_op[STORE]),
+                               int(per_op[ACQUIRE]), int(per_op[RELEASE]))
         loads = stores = acquires = releases = 0
-        for _, op, _ in self.events:
+        for _, op, _ in self._events:
             if op == LOAD:
                 loads += 1
             elif op == STORE:
@@ -133,8 +222,12 @@ class Trace:
             raise TraceError(
                 f"cannot concat traces with {self.num_procs} and "
                 f"{other.num_procs} processors")
+        if self._events is None and other._events is None:
+            return Trace(self._columns.concat(other._columns), self.num_procs,
+                         name=self.name, meta=self.meta, validate=False)
         return Trace(self.events + other.events, self.num_procs,
-                     name=self.name, meta=self.meta, validate=False)
+                     name=self.name, meta=self.meta, validate=False,
+                     copy=False)
 
     def head(self, n: int) -> "Trace":
         """First ``n`` events as a new trace."""
@@ -154,20 +247,22 @@ class Trace:
         if fraction == 1.0:
             return self
         keep = max(1, int(granularity * fraction))
+        events = self.events
         kept: List[Event] = []
-        for start in range(0, len(self.events), granularity):
-            kept.extend(self.events[start:start + keep])
+        for start in range(0, len(events), granularity):
+            kept.extend(events[start:start + keep])
         return Trace(kept, self.num_procs, name=f"{self.name}~{fraction}",
-                     meta=self.meta, validate=False)
+                     meta=self.meta, validate=False, copy=False)
 
     def format(self, limit: int = 20) -> str:
         """Multi-line human-readable rendering of the first ``limit`` events."""
+        events = self.events
         lines = [f"Trace {self.name or '<anonymous>'} "
-                 f"({len(self.events)} events, {self.num_procs} procs)"]
-        for i, ev in enumerate(self.events[:limit]):
+                 f"({len(events)} events, {self.num_procs} procs)"]
+        for i, ev in enumerate(events[:limit]):
             lines.append(f"  T{i}: {format_event(ev)}")
-        if len(self.events) > limit:
-            lines.append(f"  ... {len(self.events) - limit} more")
+        if len(events) > limit:
+            lines.append(f"  ... {len(events) - limit} more")
         return "\n".join(lines)
 
 
@@ -227,4 +322,4 @@ def merge_program_order(streams: Dict[int, Iterable[Event]],
         if leftover is not None:
             raise TraceError(f"order leaves events of processor {p} unconsumed")
     return Trace(events, num_procs=max(streams) + 1 if streams else 1,
-                 validate=False)
+                 validate=False, copy=False)

@@ -1,9 +1,10 @@
 """Unit tests for trace serialization (text and npz)."""
 
+import numpy as np
 import pytest
 
 from repro.errors import TraceFormatError
-from repro.trace import TraceBuilder
+from repro.trace import Trace, TraceBuilder
 from repro.trace.io import (
     cached,
     dumps_text,
@@ -63,6 +64,39 @@ class TestTextFormat:
         assert [a for _, _, a in t.events] == [10, 16]
 
 
+class TestTextEdgeCases:
+    def test_empty_trace_roundtrip(self):
+        empty = Trace([], 4, name="empty")
+        loaded = loads_text(dumps_text(empty))
+        assert len(loaded) == 0
+        assert loaded.num_procs == 4
+        assert loaded.name == "empty"
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace\nnum_procs 1\n0 LOAD 0\n")
+
+    def test_wrong_header_version_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v2\nnum_procs 1\n0 LOAD 0\n")
+
+    def test_non_integer_num_procs_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs two\n0 LOAD 0\n")
+
+    def test_non_integer_proc_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs 1\nx LOAD 0\n")
+
+    def test_non_integer_addr_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs 1\n0 LOAD zz\n")
+
+    def test_extra_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_text("#repro-trace-v1\nnum_procs 1\n0 LOAD 0 0\n")
+
+
 class TestNpzFormat:
     def test_roundtrip(self, trace, tmp_path):
         path = str(tmp_path / "t.npz")
@@ -84,6 +118,58 @@ class TestNpzFormat:
         save_npz(t, path)
         loaded = load_npz(path)
         assert "obj" in loaded.meta  # repr'd, not dropped
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        empty = Trace([], 4, name="empty", meta={"seed": 0})
+        path = str(tmp_path / "empty.npz")
+        save_npz(empty, path)
+        loaded = load_npz(path)
+        assert len(loaded) == 0
+        assert loaded.num_procs == 4
+        assert loaded.name == "empty"
+        assert loaded.meta == {"seed": 0}
+
+    def test_nested_meta_preserved(self, tmp_path):
+        t = (TraceBuilder(1).load(0, 0)
+             .build("meta", meta={"config": {"rows": 32, "procs": [0, 1]},
+                                  "seed": 42}))
+        path = str(tmp_path / "meta.npz")
+        save_npz(t, path)
+        loaded = load_npz(path)
+        assert loaded.meta["config"] == {"rows": 32, "procs": [0, 1]}
+        assert loaded.meta["seed"] == 42
+
+    def test_missing_array_rejected(self, tmp_path):
+        path = str(tmp_path / "partial.npz")
+        np.savez(path, proc=np.zeros(1, dtype=np.int64),
+                 op=np.zeros(1, dtype=np.int64))
+        with pytest.raises(TraceFormatError):
+            load_npz(path)
+
+    def test_unequal_array_lengths_rejected(self, tmp_path):
+        path = str(tmp_path / "ragged.npz")
+        np.savez(path, proc=np.zeros(2, dtype=np.int64),
+                 op=np.zeros(2, dtype=np.int64),
+                 addr=np.zeros(3, dtype=np.int64),
+                 header=np.array('{"name": "", "num_procs": 1, "meta": {}}'))
+        with pytest.raises(TraceFormatError):
+            load_npz(path)
+
+    def test_out_of_range_proc_rejected(self, tmp_path):
+        path = str(tmp_path / "badproc.npz")
+        np.savez(path, proc=np.array([5], dtype=np.int64),
+                 op=np.zeros(1, dtype=np.int64),
+                 addr=np.zeros(1, dtype=np.int64),
+                 header=np.array('{"name": "", "num_procs": 2, "meta": {}}'))
+        with pytest.raises(TraceFormatError):
+            load_npz(path)
+
+    def test_loaded_trace_is_columnar(self, trace, tmp_path):
+        path = str(tmp_path / "cols.npz")
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert loaded.has_columns  # arrays adopted directly, no decode
+        assert loaded.events == trace.events
 
 
 class TestCached:
