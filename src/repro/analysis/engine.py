@@ -13,13 +13,21 @@ engine makes that cheap by doing every shareable piece of work exactly once:
   per-block-size derived columns (block ids via one vectorized
   ``addr >> shift``) shared by every cell at that block size.
 * **Fan out the grid** — the (block size × classifier/protocol) cells are
-  independent, so with ``jobs > 1`` they run on a ``multiprocessing`` fork
-  pool; the forked workers inherit the trace and its precompute without
-  serialization.
+  independent, so with ``jobs > 1`` they run on supervised ``fork``
+  workers (:class:`repro.runtime.supervisor.Supervisor`) that inherit the
+  trace and its precompute without serialization.  The supervisor detects
+  dead workers, kills hung cells at ``timeout`` and retries under
+  ``retry``; a cell that keeps failing in workers degrades to one serial
+  in-process attempt before the run aborts with a structured
+  :class:`~repro.errors.CellFailedError` carrying the partial grid.
+* **Checkpoint completed cells** — with ``checkpoint_dir`` set, every
+  finished cell is journaled durably (keyed by the trace's cache key), so
+  a killed paper-scale sweep resumes re-running only the incomplete cells.
 
 Typical use::
 
-    engine = SweepEngine.for_workload("MP3D200", jobs=4)
+    engine = SweepEngine.for_workload("MP3D200", jobs=4,
+                                      checkpoint_dir="~/.cache/repro/ckpt")
     panel = engine.classify_sweep()              # Figure 5 panel
     grid = engine.protocol_grid((64, 1024))      # Figure 6 cells
 """
@@ -27,8 +35,10 @@ Typical use::
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
+import hashlib
 import os
+import re
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -38,11 +48,15 @@ from ..classify.compare import ClassificationComparison
 from ..classify.dubois import DuboisClassifier
 from ..classify.eggers import EggersClassifier
 from ..classify.torrellas import TorrellasClassifier
-from ..errors import ConfigError
+from ..errors import ConfigError, InvariantViolationError
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
 from ..protocols.results import ProtocolResult
 from ..protocols.runner import ALL_PROTOCOLS, make_protocol
-from ..trace.cache import WorkloadTraceCache
+from ..runtime.checkpoint import CheckpointJournal
+from ..runtime.faults import FaultPlan
+from ..runtime.retry import RetryPolicy
+from ..runtime.supervisor import Supervisor
+from ..trace.cache import WorkloadTraceCache, workload_cache_key
 from ..trace.events import ACQUIRE, RELEASE, STORE
 from ..trace.trace import Trace
 from .sweep import SweepResult
@@ -191,7 +205,7 @@ class SharedPrecompute:
                 clf.feed_data(*rows)
                 # Elided no-op reads still count as data references.
                 return dataclasses.replace(clf.finish(),
-                                           data_refs=clf._data_refs + dropped)
+                                           data_refs=clf.data_refs + dropped)
         procs, ops, addrs = self.data_rows()
         blocks = self.data_blocks(block_map)
         if which == "eggers":
@@ -233,21 +247,45 @@ class SharedPrecompute:
 
 
 # ----------------------------------------------------------------------
-# fork-pool plumbing
+# execution options
 # ----------------------------------------------------------------------
-# The forked workers inherit this module-level state from the parent; with
-# the fork start method nothing is pickled.
-_FORK_PRECOMPUTE: Optional[SharedPrecompute] = None
-
-
-def _run_cell_in_worker(cell: Cell):
-    return _FORK_PRECOMPUTE.run_cell(cell)
-
-
 def _resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs <= 0:
-        return os.cpu_count() or 1
+        # Respect the CPU affinity mask (cgroup/container limits) rather
+        # than the raw core count, so constrained runs don't oversubscribe.
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
     return jobs
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionOptions:
+    """Resilience knobs threaded from the CLI into :class:`SweepEngine`.
+
+    Everything defaults to the engine's own defaults, so ``None`` (or a
+    default-constructed instance) reproduces plain engine behaviour.
+    """
+
+    #: Retry policy for failed/hung cells (``None``: engine default).
+    retry: Optional[RetryPolicy] = None
+    #: Per-cell wall-clock timeout in seconds (``None``: no timeout).
+    timeout: Optional[float] = None
+    #: Journal completed cells under this directory and resume from it
+    #: (``None``: no checkpointing; ``""``: the default checkpoint dir).
+    checkpoint_dir: Optional[str] = None
+    #: Raise :class:`~repro.errors.InvariantViolationError` on a post-cell
+    #: invariant violation instead of warning.
+    strict_invariants: bool = False
+    #: Deterministic fault injection (tests only).
+    fault_plan: Optional[FaultPlan] = None
+
+    def engine_kwargs(self) -> dict:
+        return {"retry": self.retry, "timeout": self.timeout,
+                "checkpoint_dir": self.checkpoint_dir,
+                "strict_invariants": self.strict_invariants,
+                "fault_plan": self.fault_plan}
 
 
 class SweepEngine:
@@ -259,27 +297,66 @@ class SweepEngine:
         The interleaved trace every grid cell runs over.
     jobs:
         Worker processes for grid fan-out.  ``1`` (default) runs serially
-        in-process; ``None`` or ``0`` means one per CPU.  Parallel execution
+        in-process; ``None`` or ``0`` means one per available CPU (the
+        affinity mask, not the raw core count).  Parallel execution
         requires the ``fork`` start method (it is skipped, falling back to
         serial, where unavailable).
+    retry:
+        :class:`~repro.runtime.retry.RetryPolicy` for failed or hung grid
+        cells (default: 3 worker attempts with capped exponential
+        backoff, then one serial in-process fallback attempt).
+    timeout:
+        Per-cell wall-clock seconds before a worker is presumed hung and
+        its cell retried.  ``None`` (default) disables the timeout.
+    checkpoint_dir:
+        When set, every completed cell is journaled durably under this
+        directory, keyed by ``(trace key, cell)``, and a later run over
+        the same trace skips the journaled cells.  ``""`` selects
+        :func:`repro.runtime.checkpoint.default_checkpoint_dir`.
+    strict_invariants:
+        Escalate post-cell invariant violations from warnings to
+        :class:`~repro.errors.InvariantViolationError`.
+    fault_plan:
+        Deterministic :class:`~repro.runtime.faults.FaultPlan` (tests).
+    trace_key:
+        Stable identity of the trace for checkpoint keying; defaults to
+        the workload's trace-cache key via :meth:`for_workload`, else a
+        content hash of the trace arrays.
     """
 
-    def __init__(self, trace: Trace, *, jobs: int = 1):
+    def __init__(self, trace: Trace, *, jobs: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 strict_invariants: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 trace_key: Optional[str] = None):
         self.trace = trace
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
+        self.retry = retry
+        self.timeout = timeout
+        self.checkpoint_dir = checkpoint_dir
+        self.strict_invariants = strict_invariants
+        self.fault_plan = fault_plan
+        self._trace_key = trace_key
         self._precompute: Optional[SharedPrecompute] = None
 
     @classmethod
     def for_workload(cls, name: str, *, jobs: int = 1,
                      cache: Optional[WorkloadTraceCache] = None,
-                     cache_dir: Optional[str] = None) -> "SweepEngine":
+                     cache_dir: Optional[str] = None,
+                     **kwargs) -> "SweepEngine":
         """Build an engine over a named workload's cached trace.
 
         The trace is generated at most once per (workload, config, seed,
-        version) and reloaded from ``cache_dir`` afterwards.
+        version) and reloaded from ``cache_dir`` afterwards.  Checkpoint
+        journals of such engines are keyed by the same cache key, so the
+        checkpoint invalidates exactly when the cached trace does.
         """
         cache = cache or WorkloadTraceCache(cache_dir)
-        return cls(cache.get(name), jobs=jobs)
+        wl = cache._resolve(name)
+        return cls(cache.get(wl), jobs=jobs,
+                   trace_key=workload_cache_key(wl), **kwargs)
 
     @property
     def precompute(self) -> SharedPrecompute:
@@ -288,26 +365,86 @@ class SweepEngine:
             self._precompute = SharedPrecompute(self.trace)
         return self._precompute
 
+    @property
+    def trace_key(self) -> str:
+        """Stable trace identity used to key the checkpoint journal."""
+        if self._trace_key is None:
+            cols = self.trace.columns()
+            h = hashlib.sha1()
+            h.update(f"{self.trace.name}|{self.trace.num_procs}".encode())
+            for arr in (cols.proc, cols.op, cols.addr):
+                arr = np.ascontiguousarray(arr)
+                h.update(str(len(arr)).encode())
+                h.update(arr.tobytes())
+            name = re.sub(r"[^A-Za-z0-9_-]+", "_",
+                          self.trace.name or "trace")
+            self._trace_key = f"{name}-{h.hexdigest()[:16]}"
+        return self._trace_key
+
     # ------------------------------------------------------------------
     # grid execution
     # ------------------------------------------------------------------
     def run_grid(self, cells: Sequence[Cell]) -> List:
-        """Run every cell, returning results in cell order."""
+        """Run every cell, returning results in cell order.
+
+        Execution is supervised: worker crashes and per-cell hangs are
+        retried per the engine's :class:`RetryPolicy`; completed cells are
+        journaled when ``checkpoint_dir`` is set (and cells already in the
+        journal are returned without recomputation); each fresh result
+        passes the post-cell invariant guard before being accepted.
+        """
+        cells = [tuple(cell) for cell in cells]
         pre = self.precompute
         jobs = min(self.jobs, len(cells)) if cells else 1
-        if jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+        journal = completed = None
+        if self.checkpoint_dir is not None:
+            journal = CheckpointJournal(self.checkpoint_dir or None,
+                                        self.trace_key)
+            completed = journal.load()
+
+        def on_result(cell, result):
+            self._guard_cell(cell, result)
+            if journal is not None:
+                journal.record(cell, result)
+
+        if jobs > 1:
             # Warm the shared state in the parent so every forked worker
             # inherits it instead of re-deriving it per process.
             pre.data_rows()
-            global _FORK_PRECOMPUTE
-            _FORK_PRECOMPUTE = pre
-            try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(processes=jobs) as pool:
-                    return pool.map(_run_cell_in_worker, cells, chunksize=1)
-            finally:
-                _FORK_PRECOMPUTE = None
-        return [pre.run_cell(cell) for cell in cells]
+        supervisor = Supervisor(pre.run_cell, jobs=jobs, retry=self.retry,
+                                timeout=self.timeout,
+                                fault_plan=self.fault_plan)
+        try:
+            return supervisor.run(cells, completed=completed,
+                                  on_result=on_result)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    # ------------------------------------------------------------------
+    # post-cell invariant guards
+    # ------------------------------------------------------------------
+    def _guard_cell(self, cell: Cell, result) -> None:
+        """Check the paper's invariants that are free to verify per cell."""
+        from .invariants import (
+            check_cold_agreement_ours_eggers,
+            check_total_miss_agreement,
+        )
+
+        if cell[0] != "compare":
+            return
+        violations = (check_total_miss_agreement(result)
+                      + check_cold_agreement_ours_eggers(result))
+        if violations:
+            self._report_violations(violations, context=f"cell {cell!r}")
+
+    def _report_violations(self, violations: List[str],
+                           *, context: str) -> None:
+        message = (f"invariant violation in {context}: "
+                   + "; ".join(violations))
+        if self.strict_invariants:
+            raise InvariantViolationError(message, violations)
+        warnings.warn(message, stacklevel=3)
 
     # ------------------------------------------------------------------
     # the paper's sweeps
@@ -318,8 +455,17 @@ class SweepEngine:
         sizes = tuple(block_sizes or PAPER_BLOCK_SIZES)
         cells = [("classify", bb, classifier) for bb in sizes]
         breakdowns = tuple(self.run_grid(cells))
-        return SweepResult(trace_name=self.trace.name or "<anonymous>",
-                           block_sizes=sizes, breakdowns=breakdowns)
+        result = SweepResult(trace_name=self.trace.name or "<anonymous>",
+                             block_sizes=sizes, breakdowns=breakdowns)
+        if classifier == "dubois" and list(sizes) == sorted(sizes):
+            from .invariants import check_block_size_monotonicity
+
+            violations = check_block_size_monotonicity(result)
+            if violations:
+                self._report_violations(
+                    violations,
+                    context=f"classify sweep of {result.trace_name}")
+        return result
 
     def compare_sweep(self, block_sizes: Optional[Sequence[int]] = None
                       ) -> Dict[int, ClassificationComparison]:

@@ -29,13 +29,17 @@ class Fig5Panel:
 
 def figure5(traces: Sequence[Trace],
             block_sizes: Optional[Sequence[int]] = None,
-            *, jobs: int = 1) -> Dict[str, Fig5Panel]:
+            *, jobs: int = 1, options=None) -> Dict[str, Fig5Panel]:
     """Figure 5: classification vs block size, one panel per benchmark.
 
-    ``jobs > 1`` fans each panel's block sizes out over worker processes.
+    ``jobs > 1`` fans each panel's block sizes out over supervised worker
+    processes; ``options`` (an
+    :class:`repro.analysis.engine.ExecutionOptions`) threads the
+    resilience knobs through to each panel's engine.
     """
     return {trace.name: Fig5Panel(sweep_block_sizes(trace, block_sizes,
-                                                    jobs=jobs))
+                                                    jobs=jobs,
+                                                    options=options))
             for trace in traces}
 
 
@@ -84,14 +88,16 @@ class Fig6Panel:
 
 def figure6(traces: Sequence[Trace], block_bytes: int,
             protocols: Optional[Sequence[str]] = None,
-            *, jobs: int = 1) -> Dict[str, Fig6Panel]:
+            *, jobs: int = 1, options=None) -> Dict[str, Fig6Panel]:
     """Figure 6 (a: B=64, b: B=1024): protocol comparison per benchmark.
 
-    ``jobs > 1`` fans each benchmark's protocols out over worker processes.
+    ``jobs > 1`` fans each benchmark's protocols out over worker
+    processes; ``options`` threads the engine's resilience knobs through.
     """
     panels = {}
     for trace in traces:
-        results = run_protocols(trace, block_bytes, protocols, jobs=jobs)
+        results = run_protocols(trace, block_bytes, protocols, jobs=jobs,
+                                options=options)
         panels[trace.name] = Fig6Panel(trace_name=trace.name,
                                        block_bytes=block_bytes,
                                        results=results)

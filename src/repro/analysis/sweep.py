@@ -47,22 +47,28 @@ class SweepResult:
 
 def sweep_block_sizes(trace: Trace,
                       block_sizes: Optional[Sequence[int]] = None,
-                      *, jobs: int = 1) -> SweepResult:
+                      *, jobs: int = 1, options=None) -> SweepResult:
     """Classify ``trace`` at each block size (default: the paper's 4..1024).
 
     Runs on the sweep engine: the trace's data rows are decoded once and
     shared by every block size, and ``jobs > 1`` fans the block sizes out
-    over worker processes (see :class:`repro.analysis.engine.SweepEngine`).
+    over supervised worker processes (see
+    :class:`repro.analysis.engine.SweepEngine`).  ``options`` is an
+    optional :class:`repro.analysis.engine.ExecutionOptions` carrying the
+    resilience knobs (retries, timeout, checkpointing, strict invariants).
     """
     from .engine import SweepEngine  # deferred: engine imports SweepResult
 
-    return SweepEngine(trace, jobs=jobs).classify_sweep(block_sizes)
+    kwargs = options.engine_kwargs() if options is not None else {}
+    return SweepEngine(trace, jobs=jobs, **kwargs).classify_sweep(block_sizes)
 
 
 def sweep_comparisons(trace: Trace,
                       block_sizes: Optional[Sequence[int]] = None,
-                      *, jobs: int = 1) -> Dict[int, ClassificationComparison]:
+                      *, jobs: int = 1,
+                      options=None) -> Dict[int, ClassificationComparison]:
     """Three-way classifier comparison at each block size."""
     from .engine import SweepEngine  # deferred: engine imports SweepResult
 
-    return SweepEngine(trace, jobs=jobs).compare_sweep(block_sizes)
+    kwargs = options.engine_kwargs() if options is not None else {}
+    return SweepEngine(trace, jobs=jobs, **kwargs).compare_sweep(block_sizes)

@@ -100,6 +100,16 @@ class DuboisClassifier:
         #: Per-miss records (populated only when ``record_misses``).
         self.misses: List[MissRecord] = []
 
+    @property
+    def data_refs(self) -> int:
+        """Data references (loads + stores) consumed so far.
+
+        Public accessor for consumers that adjust the reference count,
+        e.g. the sweep engine's no-op read elision, which re-adds elided
+        rows so rates stay comparable.
+        """
+        return self._data_refs
+
     # ------------------------------------------------------------------
     # event feeding
     # ------------------------------------------------------------------

@@ -46,6 +46,26 @@ def _trace_cache(args) -> "WorkloadTraceCache | None":
     return WorkloadTraceCache(directory or None)
 
 
+def _engine_options(args):
+    """Build :class:`ExecutionOptions` from the resilience flags.
+
+    Returns ``None`` when every flag is at its default, so commands run
+    exactly as before unless resilience features are requested.
+    """
+    from .analysis.engine import ExecutionOptions
+    from .runtime.retry import RetryPolicy
+
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "timeout", None)
+    resume = getattr(args, "resume", None)
+    strict = getattr(args, "strict_invariants", False)
+    if retries is None and timeout is None and resume is None and not strict:
+        return None
+    retry = RetryPolicy.from_retries(retries) if retries is not None else None
+    return ExecutionOptions(retry=retry, timeout=timeout,
+                            checkpoint_dir=resume, strict_invariants=strict)
+
+
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
     """Resolve a trace argument: a named workload or a trace file path."""
     if spec in NAMED_CONFIGS:
@@ -78,7 +98,8 @@ def _cmd_classify(args) -> int:
 
 def _cmd_sweep(args) -> int:
     trace = _load_trace(args.trace, _trace_cache(args))
-    print(sweep_block_sizes(trace, jobs=args.jobs).format())
+    print(sweep_block_sizes(trace, jobs=args.jobs,
+                            options=_engine_options(args)).format())
     return 0
 
 
@@ -106,7 +127,8 @@ def _cmd_table2(args) -> int:
 
 def _cmd_fig5(args) -> int:
     traces = _suite_traces(args.suite, _trace_cache(args))
-    for name, panel in figure5(traces, jobs=args.jobs).items():
+    for name, panel in figure5(traces, jobs=args.jobs,
+                               options=_engine_options(args)).items():
         print(panel.format())
         print()
     return 0
@@ -115,7 +137,8 @@ def _cmd_fig5(args) -> int:
 def _cmd_fig6(args) -> int:
     traces = _suite_traces(args.suite, _trace_cache(args))
     for block in args.blocks:
-        for name, panel in figure6(traces, block, jobs=args.jobs).items():
+        for name, panel in figure6(traces, block, jobs=args.jobs,
+                                   options=_engine_options(args)).items():
             print(panel.format_table())
             print()
     return 0
@@ -177,14 +200,29 @@ def _cmd_generate(args) -> int:
 
 
 def _add_engine_args(p: argparse.ArgumentParser) -> None:
-    """``--jobs`` / ``--trace-cache`` shared by the sweep-style commands."""
+    """``--jobs`` / ``--trace-cache`` / resilience flags shared by the
+    sweep-style commands."""
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes for the experiment grid "
-                        "(1 = serial, 0 = one per CPU)")
+                        "(1 = serial, 0 = one per available CPU)")
     p.add_argument("--trace-cache", nargs="?", const="", default=None,
                    metavar="DIR",
                    help="cache generated workload traces as .npz under DIR "
                         f"(no DIR: {default_cache_dir()})")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock timeout; a hung cell's worker "
+                        "is killed and the cell retried (default: none)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="retries per failed/hung grid cell before the "
+                        "serial in-process fallback (default: 2)")
+    p.add_argument("--resume", nargs="?", const="", default=None,
+                   metavar="DIR",
+                   help="journal completed grid cells under DIR and resume "
+                        "a killed sweep, re-running only incomplete cells "
+                        "(no DIR: the default checkpoint directory)")
+    p.add_argument("--strict-invariants", action="store_true",
+                   help="fail on a post-cell invariant violation instead "
+                        "of warning")
 
 
 def build_parser() -> argparse.ArgumentParser:

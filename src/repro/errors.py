@@ -57,3 +57,48 @@ class DeadlockError(SimulationError):
 
 class ProtocolError(ReproError):
     """A coherence-protocol simulator reached an inconsistent state."""
+
+
+class CacheIntegrityError(TraceFormatError):
+    """A cached trace entry failed its integrity check (bad checksum,
+
+    truncated archive).  The trace cache quarantines such entries and
+    regenerates them, so consumers normally never see this escape
+    :meth:`repro.trace.cache.WorkloadTraceCache.get`.
+    """
+
+
+class CellFailedError(ReproError):
+    """A sweep grid cell exhausted every execution attempt.
+
+    Raised by the resilient execution layer (:mod:`repro.runtime`) only
+    after worker retries *and* the serial in-process fallback have failed.
+    Carries enough structure for the caller to salvage the run.
+    """
+
+    def __init__(self, message: str, *, cell=None, attempts=(),
+                 partial=None):
+        super().__init__(message)
+        #: The grid cell that failed, e.g. ``("classify", 64, "dubois")``.
+        self.cell = cell
+        #: Attempt history: ``[{"attempt", "where", "error"}, ...]``.
+        self.attempts = list(attempts)
+        #: Results of the cells that *did* complete, ``{cell: result}``.
+        self.partial = dict(partial or {})
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal could not be read or written."""
+
+
+class InvariantViolationError(ReproError):
+    """A post-cell invariant check failed in ``--strict-invariants`` mode.
+
+    The same violations are reported as warnings when strict mode is off.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        #: The human-readable violation strings from
+        #: :mod:`repro.analysis.invariants`.
+        self.violations = list(violations)

@@ -54,7 +54,8 @@ def run_protocol(name: str, trace: Trace, block_bytes: int) -> ProtocolResult:
 
 def run_protocols(trace: Trace, block_bytes: int,
                   names: Optional[Iterable[str]] = None,
-                  *, jobs: int = 1) -> Dict[str, ProtocolResult]:
+                  *, jobs: int = 1,
+                  options=None) -> Dict[str, ProtocolResult]:
     """Run several protocols over the same trace.
 
     Defaults to the paper's seven schedules (:data:`ALL_PROTOCOLS`);
@@ -63,23 +64,27 @@ def run_protocols(trace: Trace, block_bytes: int,
     benchmark's group of bars in the paper's Figure 6.
 
     All protocols share the trace's decoded event list (it is materialized
-    at most once), and ``jobs > 1`` fans the protocols out over worker
-    processes via the sweep engine.
+    at most once), and ``jobs > 1`` fans the protocols out over supervised
+    worker processes via the sweep engine.  ``options`` (an
+    :class:`repro.analysis.engine.ExecutionOptions`) routes execution
+    through the engine even at ``jobs=1`` so retries/checkpointing apply.
     """
     chosen = list(names) if names is not None else list(ALL_PROTOCOLS)
-    if jobs != 1:
+    if jobs != 1 or options is not None:
         # Deferred import: repro.analysis builds on repro.protocols.
         from ..analysis.engine import SweepEngine
 
-        grid = SweepEngine(trace, jobs=jobs).protocol_grid((block_bytes,),
-                                                           chosen)
+        kwargs = options.engine_kwargs() if options is not None else {}
+        grid = SweepEngine(trace, jobs=jobs,
+                           **kwargs).protocol_grid((block_bytes,), chosen)
         return {name: grid[(block_bytes, name)] for name in chosen}
     return {name: run_protocol(name, trace, block_bytes) for name in chosen}
 
 
 def run_protocol_grid(trace: Trace, block_sizes: Iterable[int],
                       names: Optional[Iterable[str]] = None,
-                      *, jobs: int = 1) -> Dict[tuple, ProtocolResult]:
+                      *, jobs: int = 1,
+                      options=None) -> Dict[tuple, ProtocolResult]:
     """Run a (block size × protocol) grid over one shared trace.
 
     Returns ``{(block_bytes, name): result}``.  This is the batched form of
@@ -89,5 +94,6 @@ def run_protocol_grid(trace: Trace, block_sizes: Iterable[int],
     from ..analysis.engine import SweepEngine
 
     chosen = list(names) if names is not None else list(ALL_PROTOCOLS)
-    return SweepEngine(trace, jobs=jobs).protocol_grid(tuple(block_sizes),
-                                                       chosen)
+    kwargs = options.engine_kwargs() if options is not None else {}
+    return SweepEngine(trace, jobs=jobs,
+                       **kwargs).protocol_grid(tuple(block_sizes), chosen)

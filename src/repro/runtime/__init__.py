@@ -1,0 +1,32 @@
+"""Resilient execution layer for the sweep engine.
+
+The paper's headline experiments are long grid sweeps; this package makes
+them survive partial failure:
+
+* :class:`~repro.runtime.supervisor.Supervisor` — supervised fork workers
+  with per-cell tracking, crash detection, wall-clock timeouts, retries
+  and graceful degradation to serial execution;
+* :class:`~repro.runtime.retry.RetryPolicy` — capped exponential backoff;
+* :class:`~repro.runtime.checkpoint.CheckpointJournal` — durable JSONL
+  journal of completed cells so a killed sweep resumes without
+  recomputation;
+* :class:`~repro.runtime.faults.FaultPlan` — deterministic fault
+  injection (crash / hang / raise / corrupt) that makes all of the above
+  testable.
+"""
+
+from .checkpoint import CheckpointJournal, default_checkpoint_dir
+from .faults import FaultInjectedError, FaultPlan, corrupt_file
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .supervisor import Supervisor
+
+__all__ = [
+    "CheckpointJournal",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjectedError",
+    "FaultPlan",
+    "RetryPolicy",
+    "Supervisor",
+    "corrupt_file",
+    "default_checkpoint_dir",
+]

@@ -1,0 +1,190 @@
+"""Durable checkpoint journal for sweep grids.
+
+A paper-scale sweep (LU200, MP3D10000, WATER288) spends minutes per grid
+cell; a killed run should not recompute cells it already finished.  The
+journal is an append-only JSONL file, one line per completed cell:
+
+.. code-block:: json
+
+    {"v": 1, "key": "<trace key>", "cell": ["classify", 64, "dubois"],
+     "result": {"type": "DuboisBreakdown", ...}}
+
+* **Keyed by (trace key, cell)** — the trace key is the workload's trace
+  *cache* key when the engine was built from one (so the journal is
+  invalidated exactly when the cached trace is), else a content hash of
+  the trace arrays.
+* **Durable** — each record is one ``json.dumps`` line, flushed and
+  fsynced before :meth:`CheckpointJournal.record` returns; a crash can
+  lose at most the in-flight cell.
+* **Corruption-tolerant** — a truncated final line (the kill happened
+  mid-write) is skipped on load, as is any record with the wrong version
+  or trace key; a record whose result no longer decodes invalidates only
+  itself.
+
+Results are serialized structurally (no pickle), so a journal written by
+one run decodes to objects that compare equal to a fresh computation —
+resume is byte-identical as far as any consumer can observe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from ..classify.breakdown import DuboisBreakdown, SimpleBreakdown
+from ..classify.compare import ClassificationComparison
+from ..errors import CheckpointError
+from ..protocols.results import Counters, ProtocolResult
+
+_VERSION = 1
+
+
+def default_checkpoint_dir() -> str:
+    """``$REPRO_CHECKPOINT_DIR`` or ``~/.cache/repro/checkpoints``."""
+    env = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro",
+                        "checkpoints")
+
+
+# ----------------------------------------------------------------------
+# result (de)serialization
+# ----------------------------------------------------------------------
+def encode_result(result: Any) -> dict:
+    """Encode one grid-cell result to a JSON-safe tagged dict."""
+    if isinstance(result, DuboisBreakdown):
+        return {"type": "DuboisBreakdown",
+                **{f.name: getattr(result, f.name)
+                   for f in dataclasses.fields(result)}}
+    if isinstance(result, SimpleBreakdown):
+        return {"type": "SimpleBreakdown",
+                **{f.name: getattr(result, f.name)
+                   for f in dataclasses.fields(result)}}
+    if isinstance(result, ClassificationComparison):
+        return {"type": "ClassificationComparison",
+                "trace_name": result.trace_name,
+                "block_bytes": result.block_bytes,
+                "ours": encode_result(result.ours),
+                "eggers": encode_result(result.eggers),
+                "torrellas": encode_result(result.torrellas)}
+    if isinstance(result, ProtocolResult):
+        return {"type": "ProtocolResult",
+                "protocol": result.protocol,
+                "trace_name": result.trace_name,
+                "block_bytes": result.block_bytes,
+                "num_procs": result.num_procs,
+                "breakdown": encode_result(result.breakdown),
+                "counters": result.counters.as_dict(),
+                "replacement_misses": result.replacement_misses}
+    raise CheckpointError(
+        f"cannot checkpoint result of type {type(result).__name__}")
+
+
+def decode_result(blob: dict) -> Any:
+    """Invert :func:`encode_result`."""
+    kind = blob.get("type")
+    fields = {k: v for k, v in blob.items() if k != "type"}
+    try:
+        if kind == "DuboisBreakdown":
+            return DuboisBreakdown(**fields)
+        if kind == "SimpleBreakdown":
+            return SimpleBreakdown(**fields)
+        if kind == "ClassificationComparison":
+            return ClassificationComparison(
+                trace_name=fields["trace_name"],
+                block_bytes=fields["block_bytes"],
+                ours=decode_result(fields["ours"]),
+                eggers=decode_result(fields["eggers"]),
+                torrellas=decode_result(fields["torrellas"]))
+        if kind == "ProtocolResult":
+            return ProtocolResult(
+                protocol=fields["protocol"],
+                trace_name=fields["trace_name"],
+                block_bytes=fields["block_bytes"],
+                num_procs=fields["num_procs"],
+                breakdown=decode_result(fields["breakdown"]),
+                counters=Counters(**fields["counters"]),
+                replacement_misses=fields.get("replacement_misses", 0))
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed {kind} record: {exc}") from None
+    raise CheckpointError(f"unknown checkpoint result type {kind!r}")
+
+
+def _cell_key(cell) -> Tuple:
+    """Normalize a cell for dictionary keying (JSON round-trips lists)."""
+    return tuple(cell)
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed grid cells for one trace.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created on first write).
+    trace_key:
+        The trace's identity; records with a different key are ignored on
+        load, so a stale journal can never poison a new trace's sweep.
+    """
+
+    def __init__(self, directory: Optional[str], trace_key: str):
+        self.directory = directory or default_checkpoint_dir()
+        self.trace_key = trace_key
+        self.path = os.path.join(self.directory, f"{trace_key}.jsonl")
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[Tuple, Any]:
+        """Completed cells from a previous run: ``{cell: result}``.
+
+        Unparseable lines (e.g. a torn final write) and records from other
+        trace keys or journal versions are skipped, not fatal.
+        """
+        completed: Dict[Tuple, Any] = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed run
+                if (record.get("v") != _VERSION
+                        or record.get("key") != self.trace_key):
+                    continue
+                try:
+                    completed[_cell_key(record["cell"])] = decode_result(
+                        record["result"])
+                except (CheckpointError, KeyError, TypeError):
+                    continue  # one bad record invalidates only itself
+        return completed
+
+    def record(self, cell, result) -> None:
+        """Durably append one completed cell (flush + fsync)."""
+        if self._fh is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        line = json.dumps({"v": _VERSION, "key": self.trace_key,
+                           "cell": list(cell),
+                           "result": encode_result(result)},
+                          sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,108 @@
+"""Deterministic fault injection for the resilient executor.
+
+The supervisor, checkpoint and cache hardening are only trustworthy if
+their failure paths are exercised, so this module provides hooks that make
+failures *reproducible*: a :class:`FaultPlan` says exactly which cell
+fails, how (crash / hang / raise), and for how many attempts.  The plan is
+keyed by the cell descriptor or its grid index, and consulted with the
+supervisor's attempt number, so it needs no cross-process mutable state —
+a forked worker inherits the plan and decides from ``(cell, attempt)``
+alone.
+
+Crash and hang faults model *worker-level* failures (a dead process, a
+stuck cell) and therefore only fire inside worker processes; raise faults
+model deterministic per-cell errors and fire on the serial path too, which
+is how the exhausted-retries path is tested.
+
+:func:`corrupt_file` deterministically damages an on-disk cache entry
+(truncation or byte garbling) for the trace-cache integrity tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import ReproError
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an injected ``raise`` fault (test-only failure mode)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which cells fail, how, and for how many attempts.
+
+    Each mapping is keyed by a cell descriptor (the grid's
+    ``(kind, block_bytes, which)`` tuple) **or** by the cell's integer
+    index in the submitted grid; the value is the number of leading
+    attempts that fail.  ``crash={2: 1}`` kills the worker running the
+    third grid cell on its first attempt only — the retry succeeds.
+    """
+
+    #: attempts that hard-kill the worker process (``os._exit``).
+    crash: Dict[Any, int] = field(default_factory=dict)
+    #: attempts that hang (sleep ``hang_seconds``) until the timeout kills
+    #: the worker.
+    hang: Dict[Any, int] = field(default_factory=dict)
+    #: attempts that raise :class:`FaultInjectedError` (fires on the serial
+    #: fallback path as well).
+    raises: Dict[Any, int] = field(default_factory=dict)
+    #: how long a hang fault sleeps; far longer than any test timeout.
+    hang_seconds: float = 3600.0
+
+    def _times(self, table: Dict[Any, int], cell, index: Optional[int]) -> int:
+        if index is not None and index in table:
+            return table[index]
+        return table.get(cell, 0)
+
+    def should_crash(self, cell, attempt: int, index: Optional[int] = None) -> bool:
+        return attempt <= self._times(self.crash, cell, index)
+
+    def should_hang(self, cell, attempt: int, index: Optional[int] = None) -> bool:
+        return attempt <= self._times(self.hang, cell, index)
+
+    def should_raise(self, cell, attempt: int, index: Optional[int] = None) -> bool:
+        return attempt <= self._times(self.raises, cell, index)
+
+    # ------------------------------------------------------------------
+    def apply_worker(self, cell, attempt: int, index: Optional[int] = None) -> None:
+        """Fire any worker-side fault for ``(cell, attempt)``.
+
+        Called by the supervisor's worker loop before running the cell.
+        """
+        if self.should_crash(cell, attempt, index):
+            os._exit(17)  # hard death: no cleanup, no exception propagation
+        if self.should_hang(cell, attempt, index):
+            time.sleep(self.hang_seconds)
+        self.apply_serial(cell, attempt, index)
+
+    def apply_serial(self, cell, attempt: int, index: Optional[int] = None) -> None:
+        """Fire any fault that also applies to in-process execution."""
+        if self.should_raise(cell, attempt, index):
+            raise FaultInjectedError(
+                f"injected failure for cell {cell!r} (attempt {attempt})")
+
+
+def corrupt_file(path: str, *, mode: str = "truncate",
+                 offset: int = 64, length: int = 64) -> None:
+    """Deterministically corrupt an on-disk cache entry.
+
+    ``mode="truncate"`` cuts the file to half its size (a partial write /
+    killed process); ``mode="garble"`` overwrites ``length`` bytes at
+    ``offset`` with a fixed pattern (silent media corruption) without
+    changing the size.
+    """
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        with open(path, "r+b") as f:
+            f.truncate(max(1, size // 2))
+    elif mode == "garble":
+        with open(path, "r+b") as f:
+            f.seek(min(offset, max(0, size - 1)))
+            f.write(b"\xde\xad\xbe\xef" * (length // 4 + 1))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

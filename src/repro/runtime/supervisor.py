@@ -1,0 +1,379 @@
+"""Supervised fan-out of independent grid cells over fork workers.
+
+``SweepEngine.run_grid`` used to hand the grid to a bare ``pool.map``: one
+crashed worker, one hung cell or one raised exception aborted the whole
+sweep and discarded every completed cell.  :class:`Supervisor` replaces it
+with per-cell task tracking:
+
+* each worker is a dedicated ``fork`` process driven over its own duplex
+  pipe, so the supervisor always knows *which* cell a worker is running
+  and since when;
+* the event loop multiplexes result pipes **and** process sentinels via
+  :func:`multiprocessing.connection.wait` — a dead worker is noticed
+  immediately, not at ``join`` time;
+* a per-cell wall-clock timeout kills hung workers and reschedules their
+  cell;
+* failed/hung cells retry under a capped-exponential
+  :class:`~repro.runtime.retry.RetryPolicy`; cells that keep failing in
+  workers degrade to one serial in-process attempt (a fresh interpreter
+  state is not required — cells are pure functions of the shared
+  precompute);
+* only when the serial fallback also fails does the supervisor raise
+  :class:`~repro.errors.CellFailedError`, carrying the cell, its attempt
+  history and the partial results of every completed cell.
+
+Workers inherit their runner (and any fault plan) through module globals
+at fork time, so nothing is pickled — the same zero-copy trick the old
+pool used.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import CellFailedError
+from .faults import FaultPlan
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+# Fork-inherited worker state (set in the parent just before spawning).
+_WORKER_RUNNER: Optional[Callable[[Any], Any]] = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive ``("run", idx, task, attempt)``, send results.
+
+    Replies ``(idx, True, result)`` or ``(idx, False, error_string)``; a
+    ``("stop",)`` message (or a closed pipe) ends the loop.
+    """
+    runner = _WORKER_RUNNER
+    faults = _WORKER_FAULTS
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            return
+        _, idx, task, attempt = msg
+        try:
+            if faults is not None:
+                faults.apply_worker(task, attempt, idx)
+            result = runner(task)
+            reply = (idx, True, result)
+        except BaseException:
+            reply = (idx, False, traceback.format_exc(limit=20))
+        try:
+            conn.send(reply)
+        except Exception:
+            # The result (or error) could not cross the pipe; report a
+            # sendable failure so the supervisor can retry the cell.
+            try:
+                conn.send((idx, False,
+                           f"worker could not send result for task {idx}"))
+            except Exception:
+                return
+
+
+class _Attempt:
+    """Mutable per-cell scheduling record."""
+
+    __slots__ = ("idx", "task", "attempts", "not_before", "history")
+
+    def __init__(self, idx: int, task):
+        self.idx = idx
+        self.task = task
+        self.attempts = 0          # worker attempts consumed so far
+        self.not_before = 0.0      # monotonic time gating the next attempt
+        self.history: List[dict] = []
+
+
+class _Worker:
+    """One supervised fork worker and its pipe."""
+
+    __slots__ = ("process", "conn", "current", "deadline")
+
+    def __init__(self, ctx, wid: int):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(target=_worker_main, args=(child_conn,),
+                                   name=f"repro-supervised-{wid}", daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.current: Optional[_Attempt] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, att: _Attempt, timeout: Optional[float]) -> None:
+        att.attempts += 1
+        self.current = att
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        self.conn.send(("run", att.idx, att.task, att.attempts))
+
+    def stop(self, *, kill: bool = False) -> None:
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        else:
+            try:
+                self.conn.send(("stop",))
+            except Exception:
+                pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self.conn.close()
+
+
+class Supervisor:
+    """Run independent tasks with crash/hang detection, retries and
+    graceful degradation to serial execution.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(task) -> result``.  Must be inheritable by fork (workers
+        receive it through a module global, never pickled).
+    jobs:
+        Worker process count; ``1`` (or platforms without ``fork``) runs
+        everything serially in-process.
+    retry:
+        The :class:`RetryPolicy` governing worker attempts and backoff.
+    timeout:
+        Per-task wall-clock seconds before a worker is presumed hung,
+        killed and its task rescheduled.  ``None`` disables the timeout.
+    fault_plan:
+        Optional deterministic :class:`FaultPlan` (tests only).
+    """
+
+    #: Upper bound on one event-loop wait (keeps deadline checks timely).
+    POLL_INTERVAL = 0.25
+
+    def __init__(self, runner: Callable[[Any], Any], *, jobs: int = 1,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.runner = runner
+        self.jobs = max(1, jobs)
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.timeout = timeout
+        self.fault_plan = fault_plan
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[Any], *,
+            completed: Optional[Dict[Any, Any]] = None,
+            on_result: Optional[Callable[[Any, Any], None]] = None) -> List:
+        """Run every task, returning results in task order.
+
+        ``completed`` maps already-finished tasks to their results (the
+        checkpoint resume path); those tasks are not re-run and
+        ``on_result`` is not re-fired for them.  ``on_result(task, result)``
+        is invoked once per freshly computed task, in completion order —
+        the journaling hook.
+        """
+        results: Dict[int, Any] = {}
+        todo: List[_Attempt] = []
+        for idx, task in enumerate(tasks):
+            if completed is not None and task in completed:
+                results[idx] = completed[task]
+            else:
+                todo.append(_Attempt(idx, task))
+        if todo:
+            use_pool = (self.jobs > 1 and len(todo) > 1 and
+                        "fork" in multiprocessing.get_all_start_methods())
+            if use_pool:
+                self._run_pool(todo, results, on_result, tasks)
+            else:
+                self._run_serial_only(todo, results, on_result)
+        return [results[idx] for idx in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    # serial execution (jobs=1 / no fork) with retries
+    # ------------------------------------------------------------------
+    def _run_serial_only(self, todo, results, on_result) -> None:
+        for att in todo:
+            try:
+                results[att.idx] = self._attempt_serial(att)
+            except CellFailedError:
+                raise self._failure(att, results, todo) from None
+            if on_result is not None:
+                on_result(att.task, results[att.idx])
+
+    def _attempt_serial(self, att: _Attempt):
+        """One in-process attempt cycle honouring the retry policy."""
+        while att.attempts < self.retry.max_attempts:
+            att.attempts += 1
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.apply_serial(att.task, att.attempts,
+                                                 att.idx)
+                return self.runner(att.task)
+            except Exception:
+                att.history.append({"attempt": att.attempts,
+                                    "where": "serial",
+                                    "error": traceback.format_exc(limit=20)})
+                if att.attempts < self.retry.max_attempts:
+                    time.sleep(self.retry.delay(att.attempts))
+        raise CellFailedError("retries exhausted", cell=att.task,
+                              attempts=att.history)
+
+    # ------------------------------------------------------------------
+    # supervised pool execution
+    # ------------------------------------------------------------------
+    def _run_pool(self, todo, results, on_result, tasks) -> None:
+        global _WORKER_RUNNER, _WORKER_FAULTS
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_RUNNER = self.runner
+        _WORKER_FAULTS = self.fault_plan
+        workers: List[_Worker] = []
+        wid = itertools.count()
+        pending = deque(todo)
+        #: cells that exhausted worker attempts, awaiting the serial
+        #: fallback (run after the pool drains so one bad cell cannot
+        #: stall healthy workers).
+        fallback: List[_Attempt] = []
+        outstanding = len(todo)
+        try:
+            for _ in range(min(self.jobs, len(todo))):
+                workers.append(_Worker(ctx, next(wid)))
+            while outstanding > len(fallback):
+                now = time.monotonic()
+                self._assign_ready(workers, pending, now)
+                wait_for, busy = [], []
+                for w in workers:
+                    if w.current is not None:
+                        wait_for.append(w.conn)
+                        wait_for.append(w.process.sentinel)
+                        busy.append(w)
+                if not busy:
+                    # Nothing in flight: only backoff-delayed cells remain.
+                    delay = min(a.not_before for a in pending) - now
+                    if delay > 0:
+                        time.sleep(min(delay, self.POLL_INTERVAL))
+                    continue
+                ready = multiprocessing.connection.wait(
+                    wait_for, timeout=self._wait_timeout(busy, pending, now))
+                ready_set = set(ready)
+                for w in list(busy):
+                    finished = self._service_worker(
+                        w, ready_set, workers, pending, fallback,
+                        results, on_result, ctx, wid)
+                    outstanding -= finished
+                self._reap_timeouts(workers, pending, fallback, ctx, wid)
+        finally:
+            for w in workers:
+                w.stop(kill=True)
+            _WORKER_RUNNER = None
+            _WORKER_FAULTS = None
+        # Degraded path: cells that repeatedly failed in workers get one
+        # last serial in-process attempt each.
+        for att in fallback:
+            att.history.append({"attempt": att.attempts + 1,
+                                "where": "serial-fallback", "error": None})
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.apply_serial(att.task, att.attempts + 1,
+                                                 att.idx)
+                results[att.idx] = self.runner(att.task)
+            except Exception:
+                att.history[-1]["error"] = traceback.format_exc(limit=20)
+                raise self._failure(att, results, todo) from None
+            if on_result is not None:
+                on_result(att.task, results[att.idx])
+
+    # -- pool helpers --------------------------------------------------
+    def _assign_ready(self, workers, pending, now) -> None:
+        for w in workers:
+            if w.current is not None or not pending:
+                continue
+            for _ in range(len(pending)):
+                att = pending.popleft()
+                if att.not_before <= now:
+                    w.assign(att, self.timeout)
+                    break
+                pending.append(att)
+            else:
+                break  # every pending cell is backoff-delayed
+
+    def _wait_timeout(self, busy, pending, now) -> float:
+        timeout = self.POLL_INTERVAL
+        for w in busy:
+            if w.deadline is not None:
+                timeout = min(timeout, max(0.0, w.deadline - now))
+        for att in pending:
+            timeout = min(timeout, max(0.0, att.not_before - now))
+        return timeout
+
+    def _service_worker(self, w, ready_set, workers, pending, fallback,
+                        results, on_result, ctx, wid) -> int:
+        """Handle one worker's result or death; returns cells finished."""
+        if w.conn in ready_set:
+            try:
+                idx, ok, payload = w.conn.recv()
+            except (EOFError, OSError):
+                ok = None  # pipe died mid-message: treat as a crash
+            if ok is not None:
+                att, w.current, w.deadline = w.current, None, None
+                if ok:
+                    results[att.idx] = payload
+                    if on_result is not None:
+                        on_result(att.task, payload)
+                    return 1
+                att.history.append({"attempt": att.attempts,
+                                    "where": "worker", "error": payload})
+                return self._reschedule(att, pending, fallback)
+        if not w.process.is_alive() or w.process.sentinel in ready_set:
+            if w.process.is_alive():  # pragma: no cover - sentinel race
+                return 0
+            att, w.current = w.current, None
+            exitcode = w.process.exitcode
+            w.stop(kill=True)
+            workers.remove(w)
+            if att is not None:
+                att.history.append({
+                    "attempt": att.attempts, "where": "worker",
+                    "error": f"worker died (exitcode {exitcode})"})
+                self._reschedule(att, pending, fallback)
+            if pending and len(workers) < self.jobs:
+                # Replace the dead worker while cells remain.
+                workers.append(_Worker(ctx, next(wid)))
+        return 0
+
+    def _reap_timeouts(self, workers, pending, fallback, ctx, wid) -> None:
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        for w in list(workers):
+            if w.current is None or w.deadline is None or now < w.deadline:
+                continue
+            att, w.current = w.current, None
+            att.history.append({"attempt": att.attempts, "where": "worker",
+                                "error": f"timed out after {self.timeout}s"})
+            w.stop(kill=True)
+            workers.remove(w)
+            workers.append(_Worker(ctx, next(wid)))
+            self._reschedule(att, pending, fallback)
+
+    def _reschedule(self, att, pending, fallback) -> int:
+        """Queue a failed attempt for retry or the serial fallback."""
+        if att.attempts >= self.retry.max_attempts:
+            fallback.append(att)
+        else:
+            att.not_before = (time.monotonic()
+                              + self.retry.delay(att.attempts))
+            pending.append(att)
+        return 0
+
+    # ------------------------------------------------------------------
+    def _failure(self, att, results, todo) -> CellFailedError:
+        partial = {a.task: results[a.idx] for a in todo
+                   if a.idx in results}
+        return CellFailedError(
+            f"cell {att.task!r} failed after {len(att.history)} attempt(s)",
+            cell=att.task, attempts=att.history, partial=partial)

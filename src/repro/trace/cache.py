@@ -7,6 +7,19 @@ re-running an experiment over the same workload should not pay that again.
 version**, so a cache entry is invalidated automatically whenever anything
 that could change the generated events changes.
 
+The cache is hardened against the failure modes of long production runs:
+
+* **Atomic writes** — entries are written to a temporary sibling and
+  renamed into place (:func:`repro.trace.io.save_npz`), so a killed
+  process never leaves a truncated entry behind the real name.
+* **Integrity checking** — each entry stores a content checksum verified
+  on load; a corrupt or truncated entry is *quarantined* (renamed to
+  ``<entry>.corrupt``) and transparently regenerated instead of crashing
+  the caller.
+* **Inter-process locking** — generation takes a per-entry lock file, so
+  N concurrent sweeps over the same workload generate its trace once
+  instead of stampeding.
+
 Used by the sweep engine (:mod:`repro.analysis.engine`), the CLI
 (``--trace-cache``), ``benchmarks/conftest.py`` and
 ``examples/paper_scale.py``.
@@ -14,13 +27,21 @@ Used by the sweep engine (:mod:`repro.analysis.engine`), the CLI
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import warnings
 from typing import Dict, Optional, Union
 
+from ..errors import TraceFormatError
 from .io import load_npz, save_npz
 from .trace import Trace
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_TRACE_CACHE"
@@ -54,6 +75,31 @@ def workload_cache_key(workload) -> str:
     return f"{workload.label}-{digest}"
 
 
+@contextlib.contextmanager
+def entry_lock(path: str):
+    """Exclusive inter-process lock guarding one cache entry's generation.
+
+    Blocks until the lock is acquired (a concurrent generator of the same
+    entry is *minutes* of work worth waiting for).  The ``<path>.lock``
+    file is left in place — unlinking a locked file would race with other
+    waiters.  Degrades to no locking where ``fcntl`` is unavailable (the
+    atomic rename still keeps concurrent writers safe, they just both pay
+    the generation).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = f"{path}.lock"
+    os.makedirs(os.path.dirname(lock_path) or ".", exist_ok=True)
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
 class WorkloadTraceCache:
     """Generate-once cache of workload traces.
 
@@ -85,19 +131,50 @@ class WorkloadTraceCache:
         wl = self._resolve(workload)
         return os.path.join(self.directory, f"{workload_cache_key(wl)}.npz")
 
+    # ------------------------------------------------------------------
+    def _load_entry(self, path: str) -> Optional[Trace]:
+        """Load one entry, quarantining it on any integrity failure."""
+        if not os.path.exists(path):
+            return None
+        try:
+            return load_npz(path)
+        except TraceFormatError as exc:
+            self._quarantine(path, exc)
+            return None
+
+    def _quarantine(self, path: str, exc: Exception) -> None:
+        """Move a corrupt entry aside so the evidence survives regeneration."""
+        quarantined = f"{path}.corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - entry vanished underneath us
+            quarantined = "<gone>"
+        warnings.warn(
+            f"quarantined corrupt trace cache entry {path!r} -> "
+            f"{quarantined!r} ({exc}); regenerating", stacklevel=4)
+
     def get(self, workload: Union[str, object]) -> Trace:
-        """Load the workload's trace from cache, generating it on a miss."""
+        """Load the workload's trace from cache, generating it on a miss.
+
+        Corrupt or truncated entries are quarantined and regenerated
+        transparently; concurrent callers (other processes included)
+        generate each entry at most once thanks to a per-entry lock file.
+        """
         wl = self._resolve(workload)
         key = workload_cache_key(wl)
         if self._memory is not None and key in self._memory:
             return self._memory[key]
         path = os.path.join(self.directory, f"{key}.npz")
-        if os.path.exists(path):
-            trace = load_npz(path)
-        else:
-            trace = wl.generate()
+        trace = self._load_entry(path)
+        if trace is None:
             os.makedirs(self.directory, exist_ok=True)
-            save_npz(trace, path)
+            with entry_lock(path):
+                # A concurrent holder may have generated the entry while
+                # we waited for the lock: re-check before regenerating.
+                trace = self._load_entry(path)
+                if trace is None:
+                    trace = wl.generate()
+                    save_npz(trace, path)
         if self._memory is not None:
             self._memory[key] = trace
         return trace

@@ -14,13 +14,14 @@ NumPy (``.npz``)
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from typing import List
 
 import numpy as np
 
-from ..errors import TraceError, TraceFormatError
+from ..errors import CacheIntegrityError, TraceError, TraceFormatError
 from .columnar import TraceColumns
 from .events import Event, op_from_name, op_name
 from .trace import Trace
@@ -95,36 +96,79 @@ def load_text(path: str) -> Trace:
 # ----------------------------------------------------------------------
 # npz format
 # ----------------------------------------------------------------------
+def _array_checksum(proc: np.ndarray, op: np.ndarray,
+                    addr: np.ndarray) -> str:
+    """SHA-256 over the trace arrays' bytes (dtype- and order-stable)."""
+    h = hashlib.sha256()
+    for arr in (proc, op, addr):
+        arr = np.ascontiguousarray(arr)
+        h.update(str(arr.dtype).encode())
+        h.update(str(len(arr)).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 def save_npz(trace: Trace, path: str) -> None:
-    """Write the compact NumPy format to ``path``.
+    """Write the compact NumPy format to ``path`` atomically.
 
     The trace's columnar core is written as-is (zero-copy for traces that
-    already carry columns, e.g. anything loaded from ``.npz``).
+    already carry columns, e.g. anything loaded from ``.npz``).  The
+    header records a content checksum verified by :func:`load_npz`, and
+    the file is written to a temporary sibling then renamed into place, so
+    a crash mid-write can never leave a truncated entry under ``path``.
     """
     cols = trace.columns()
     header = json.dumps({"name": trace.name, "num_procs": trace.num_procs,
-                         "meta": _jsonable(trace.meta)})
-    np.savez_compressed(path, proc=cols.proc, op=cols.op, addr=cols.addr,
-                        header=np.array(header))
+                         "meta": _jsonable(trace.meta),
+                         "checksum": _array_checksum(cols.proc, cols.op,
+                                                     cols.addr)})
+    # np.savez appends ".npz" when missing, so the temp name must keep it.
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    try:
+        np.savez_compressed(tmp, proc=cols.proc, op=cols.op, addr=cols.addr,
+                            header=np.array(header))
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
-def load_npz(path: str) -> Trace:
-    """Read the compact NumPy format from ``path``."""
+def load_npz(path: str, *, verify_checksum: bool = True) -> Trace:
+    """Read the compact NumPy format from ``path``.
+
+    Raises :class:`~repro.errors.CacheIntegrityError` (a
+    :class:`~repro.errors.TraceFormatError` subclass) when the entry is
+    truncated, unreadable, or fails its stored content checksum.  Entries
+    written before checksums existed load without verification.
+    """
     try:
         data = np.load(path, allow_pickle=False)
+        for key in ("proc", "op", "addr", "header"):
+            if key not in data:
+                raise TraceFormatError(f"{path!r} missing array {key!r}")
+        header = json.loads(str(data["header"]))
+        proc = data["proc"]
+        op = data["op"]
+        addr = data["addr"]
+    except TraceFormatError:
+        raise
     except Exception as exc:
-        raise TraceFormatError(f"cannot read {path!r}: {exc}") from None
-    for key in ("proc", "op", "addr", "header"):
-        if key not in data:
-            raise TraceFormatError(f"{path!r} missing array {key!r}")
-    header = json.loads(str(data["header"]))
-    proc = data["proc"]
-    op = data["op"]
-    addr = data["addr"]
+        # np.load lazily inflates arrays, so a truncated/garbled archive
+        # can fail anywhere above (zlib, zipfile, json...).
+        raise CacheIntegrityError(f"cannot read {path!r}: {exc}") from None
     if proc.ndim != 1 or op.ndim != 1 or addr.ndim != 1:
         raise TraceFormatError(f"{path!r} has non-1D trace arrays")
     if not (len(proc) == len(op) == len(addr)):
         raise TraceFormatError(f"{path!r} has unequal array lengths")
+    if not isinstance(header, dict) or "num_procs" not in header:
+        raise TraceFormatError(f"{path!r} has a malformed header")
+    stored = header.get("checksum")
+    if verify_checksum and stored is not None:
+        actual = _array_checksum(proc, op, addr)
+        if actual != stored:
+            raise CacheIntegrityError(
+                f"{path!r} failed its content checksum "
+                f"(stored {stored[:12]}..., actual {actual[:12]}...)")
     try:
         cols = TraceColumns(proc, op, addr)
         return Trace.from_columns(cols, header["num_procs"],

@@ -1,0 +1,198 @@
+"""Failure-mode suite for the hardened workload trace cache.
+
+Covers the acceptance criterion that a deliberately truncated cache entry
+is detected on load, quarantined, and regenerated transparently — no API
+consumer sees an exception — plus key invalidation on config/seed/version
+change and the inter-process generation lock.
+"""
+
+import multiprocessing
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.errors import CacheIntegrityError, TraceFormatError
+from repro.runtime.faults import corrupt_file
+from repro.trace.cache import WorkloadTraceCache, workload_cache_key
+from repro.trace.io import load_npz, save_npz
+from repro.trace.trace import Trace
+from repro.workloads.registry import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("MATMUL24")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return WorkloadTraceCache(str(tmp_path), memory=False)
+
+
+# ----------------------------------------------------------------------
+# integrity: checksum, truncation, quarantine, regeneration
+# ----------------------------------------------------------------------
+class TestIntegrity:
+    def test_save_embeds_verified_checksum(self, tmp_path, workload):
+        trace = workload.generate()
+        path = str(tmp_path / "t.npz")
+        save_npz(trace, path)
+        assert load_npz(path) == trace  # verifies by default
+
+    def test_truncated_entry_raises_integrity_error(self, tmp_path,
+                                                    workload):
+        path = str(tmp_path / "t.npz")
+        save_npz(workload.generate(), path)
+        corrupt_file(path, mode="truncate")
+        with pytest.raises(CacheIntegrityError):
+            load_npz(path)
+
+    def test_garbled_entry_raises_integrity_error(self, tmp_path, workload):
+        path = str(tmp_path / "t.npz")
+        save_npz(workload.generate(), path)
+        size = os.path.getsize(path)
+        corrupt_file(path, mode="garble", offset=size // 2, length=32)
+        # Depending on where the damage lands this surfaces as a zip/zlib
+        # failure or a checksum mismatch; both are TraceFormatError.
+        with pytest.raises(TraceFormatError):
+            load_npz(path)
+
+    @pytest.mark.parametrize("mode", ["truncate", "garble"])
+    def test_corrupt_entry_quarantined_and_regenerated(self, cache,
+                                                       workload, mode):
+        """The headline guarantee: consumers never see the corruption."""
+        original = cache.get(workload)
+        path = cache.path_for(workload)
+        corrupt_file(path, mode=mode, offset=os.path.getsize(path) // 2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            regenerated = cache.get(workload)  # must not raise
+        assert regenerated == original
+        assert os.path.exists(path + ".corrupt"), "evidence is preserved"
+        assert load_npz(path) == original, "entry was rewritten intact"
+        assert any("quarantined" in str(w.message) for w in caught)
+
+    def test_memory_cache_bypasses_disk_corruption(self, tmp_path,
+                                                   workload):
+        cache = WorkloadTraceCache(str(tmp_path), memory=True)
+        first = cache.get(workload)
+        corrupt_file(cache.path_for(workload), mode="truncate")
+        assert cache.get(workload) is first  # in-process hit, no disk read
+
+    def test_atomic_save_leaves_no_tmp_files(self, tmp_path, workload):
+        path = str(tmp_path / "t.npz")
+        save_npz(workload.generate(), path)
+        assert os.listdir(str(tmp_path)) == ["t.npz"]
+
+    def test_legacy_entry_without_checksum_still_loads(self, tmp_path,
+                                                       workload):
+        import json
+
+        import numpy as np
+
+        trace = workload.generate()
+        cols = trace.columns()
+        header = json.dumps({"name": trace.name,
+                             "num_procs": trace.num_procs, "meta": {}})
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(path, proc=cols.proc, op=cols.op,
+                            addr=cols.addr, header=np.array(header))
+        loaded = load_npz(path)
+        assert loaded.num_procs == trace.num_procs
+        assert len(loaded) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# key invalidation
+# ----------------------------------------------------------------------
+class TestKeyInvalidation:
+    def test_key_changes_with_config(self):
+        assert (workload_cache_key(make_workload("LU32"))
+                != workload_cache_key(make_workload("LU64")))
+
+    def test_key_changes_with_seed(self, workload):
+        class Reseeded:
+            name = workload.name
+            label = workload.label
+            seed = workload.seed + 1
+
+            def describe_config(self):
+                return workload.describe_config()
+
+        assert (workload_cache_key(workload)
+                != workload_cache_key(Reseeded()))
+
+    def test_key_changes_with_version(self, workload, monkeypatch):
+        import repro
+
+        before = workload_cache_key(workload)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert workload_cache_key(workload) != before
+
+    def test_stale_entry_is_not_picked_up(self, cache, workload,
+                                          monkeypatch):
+        import repro
+
+        cache.get(workload)
+        old_path = cache.path_for(workload)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        new_path = cache.path_for(workload)
+        assert new_path != old_path
+        assert not os.path.exists(new_path)
+
+
+# ----------------------------------------------------------------------
+# concurrent generation (inter-process lock)
+# ----------------------------------------------------------------------
+class _MarkedWorkload:
+    """Workload that records each generate() call in a shared file."""
+
+    name = "marked"
+    label = "marked"
+    seed = 7
+
+    def __init__(self, marker_path):
+        self.marker_path = marker_path
+
+    def describe_config(self):
+        return {"marker": "fixed"}
+
+    def generate(self):
+        with open(self.marker_path, "a") as fh:
+            fh.write(f"{os.getpid()}\n")
+        time.sleep(0.3)  # widen the stampede window
+        return make_workload("MATMUL24").generate()
+
+
+def _concurrent_get(directory, marker):
+    WorkloadTraceCache(directory, memory=False).get(
+        _MarkedWorkload(marker))
+
+
+class TestConcurrency:
+    def test_two_processes_generate_once(self, tmp_path):
+        directory = str(tmp_path)
+        marker = str(tmp_path / "generations")
+        ctx = multiprocessing.get_context("fork")
+        procs = [ctx.Process(target=_concurrent_get,
+                             args=(directory, marker))
+                 for _ in range(2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        with open(marker) as fh:
+            generations = fh.read().splitlines()
+        assert len(generations) == 1, \
+            f"stampede: {len(generations)} generations"
+        # And the winner's entry is valid for later readers.
+        trace = WorkloadTraceCache(directory, memory=False).get(
+            _MarkedWorkload(marker))
+        assert isinstance(trace, Trace)
+
+    def test_lock_file_left_in_place(self, cache, workload):
+        cache.get(workload)
+        assert os.path.exists(cache.path_for(workload) + ".lock")
