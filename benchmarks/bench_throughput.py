@@ -27,34 +27,40 @@ from repro.workloads import make_workload
 
 @pytest.mark.parametrize("classifier", [DuboisClassifier, EggersClassifier,
                                         TorrellasClassifier])
-def test_classifier_throughput(benchmark, mp3d200, classifier):
+def test_classifier_throughput(benchmark, bench_json, mp3d200, classifier):
     bm = BlockMap(64)
     result = benchmark.pedantic(
         lambda: classifier.classify_trace(mp3d200, bm),
         rounds=3, iterations=1)
     assert result.total > 0
+    eps = int(len(mp3d200) / benchmark.stats.stats.mean)
     benchmark.extra_info["events"] = len(mp3d200)
-    benchmark.extra_info["events_per_sec"] = int(
-        len(mp3d200) / benchmark.stats.stats.mean)
+    benchmark.extra_info["events_per_sec"] = eps
+    bench_json(f"classify/{classifier.__name__}/MP3D200/B64",
+               mode="serial", events=len(mp3d200), events_per_sec=eps)
 
 
 @pytest.mark.parametrize("protocol", ["MIN", "OTF", "RD", "SD", "SRD",
                                       "WBWI", "MAX"])
-def test_protocol_throughput(benchmark, mp3d200, protocol):
+def test_protocol_throughput(benchmark, bench_json, mp3d200, protocol):
     result = benchmark.pedantic(
         lambda: run_protocol(protocol, mp3d200, 64),
         rounds=3, iterations=1)
     assert result.misses > 0
+    eps = int(len(mp3d200) / benchmark.stats.stats.mean)
     benchmark.extra_info["events"] = len(mp3d200)
-    benchmark.extra_info["events_per_sec"] = int(
-        len(mp3d200) / benchmark.stats.stats.mean)
+    benchmark.extra_info["events_per_sec"] = eps
+    bench_json(f"protocol/{protocol}/MP3D200/B64",
+               mode="serial", events=len(mp3d200), events_per_sec=eps)
 
 
-def test_workload_generation_throughput(benchmark):
+def test_workload_generation_throughput(benchmark, bench_json):
     trace = benchmark.pedantic(
         lambda: make_workload("MP3D200").generate(), rounds=1, iterations=1)
     assert len(trace) > 10_000
     benchmark.extra_info["events"] = len(trace)
+    bench_json("generate/MP3D200", mode="serial", events=len(trace),
+               events_per_sec=int(len(trace) / benchmark.stats.stats.mean))
 
 
 def test_fig5_sweep_end_to_end_speedup(benchmark, tmp_path_factory):

@@ -50,8 +50,14 @@ from ..classify.eggers import EggersClassifier
 from ..classify.torrellas import TorrellasClassifier
 from ..errors import ConfigError, InvariantViolationError
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
-from ..protocols.results import ProtocolResult
+from ..protocols.results import ProtocolResult, merge_shard_results
 from ..protocols.runner import ALL_PROTOCOLS, make_protocol
+from ..protocols.sharding import (
+    SHARDABLE_PROTOCOLS,
+    ShardPlan,
+    plan_shards,
+    run_protocol_shard,
+)
 from ..runtime.checkpoint import CheckpointJournal
 from ..runtime.faults import FaultPlan
 from ..runtime.retry import RetryPolicy
@@ -70,7 +76,12 @@ CLASSIFIERS = {
 
 # A grid cell: (kind, block_bytes, which) with kind in
 # {"classify", "compare", "protocol"} and which naming the classifier or
-# protocol ("compare" ignores it).
+# protocol ("compare" ignores it).  The two-level scheduler additionally
+# emits *shard* subtasks — ("protocol-shard"/"classify-shard", block_bytes,
+# which, plan_digest, shard_index) — whose results are per-shard partials
+# merged back into the parent cell's result.  The plan digest in the tuple
+# makes checkpoint journal keys shard-plan-aware: a resumed sweep reuses a
+# partial only under the exact same block partition.
 Cell = Tuple[str, int, Optional[str]]
 
 
@@ -100,8 +111,11 @@ class SharedPrecompute:
         self._rows: Optional[Tuple[list, list, list]] = None
         self._blocks: Dict[int, list] = {}
         self._offset_bits: Dict[int, list] = {}
+        self._keep_masks: Dict[int, Optional[np.ndarray]] = {}
         self._active_rows: Dict[int, Tuple[tuple, int]] = {}
         self._segments: Optional[List] = None
+        self._shard_plans: Dict[Tuple[int, int], ShardPlan] = {}
+        self._plans_by_digest: Dict[str, ShardPlan] = {}
 
     def data_rows(self) -> Tuple[list, list, list]:
         """``(procs, ops, addrs)`` of the data rows, decoded once."""
@@ -129,13 +143,8 @@ class SharedPrecompute:
             self._offset_bits[wpb] = [1 << o for o in offsets]
         return self._offset_bits[wpb]
 
-    def dubois_active_rows(self, block_map: BlockMap
-                           ) -> Tuple[Optional[tuple], int]:
-        """Data rows that can change Dubois state at one block size.
-
-        Returns ``((procs, ops, addrs, blocks), dropped)`` where the lists
-        hold only *active* rows and ``dropped`` is the number of elided
-        rows (they still count as data references).
+    def dubois_keep_mask(self, block_map: BlockMap) -> Optional[np.ndarray]:
+        """Boolean mask over the data rows of the Appendix A *active* rows.
 
         A read is provably a no-op in the Appendix A algorithm when it is
         not the first access by its processor to its block and no *other*
@@ -147,15 +156,19 @@ class SharedPrecompute:
         Stores and first touches are always kept.  The filter itself is a
         handful of vectorized passes over the columnar arrays.
 
-        Returns ``(None, 0)`` when the filter does not apply (processor
-        counts that overflow an int64 bitmask).
+        Since the criterion is per (block, processor), the mask composes
+        with block sharding: a shard feeds its rows where the mask holds
+        and re-adds its own dropped-row count to ``data_refs``.
+
+        Returns ``None`` when the filter does not apply (processor counts
+        that overflow an int64 bitmask).
         """
         bits = block_map.offset_bits
-        if bits not in self._active_rows:
+        if bits not in self._keep_masks:
             num_procs = self.trace.num_procs
             if num_procs > 62:
-                self._active_rows[bits] = (None, 0)
-                return self._active_rows[bits]
+                self._keep_masks[bits] = None
+                return None
             blocks = self.data.block_ids(bits)
             procs = self.data.proc
             store = self.data.op == STORE
@@ -167,6 +180,24 @@ class SharedPrecompute:
             pair_key = inverse * np.int64(num_procs) + procs
             _, first_touch = np.unique(pair_key, return_index=True)
             keep[first_touch] = True
+            self._keep_masks[bits] = keep
+        return self._keep_masks[bits]
+
+    def dubois_active_rows(self, block_map: BlockMap
+                           ) -> Tuple[Optional[tuple], int]:
+        """Data rows that can change Dubois state at one block size.
+
+        Returns ``((procs, ops, addrs, blocks), dropped)`` where the lists
+        hold only *active* rows (per :meth:`dubois_keep_mask`) and
+        ``dropped`` is the number of elided rows (they still count as data
+        references).  Returns ``(None, 0)`` when the filter does not apply.
+        """
+        bits = block_map.offset_bits
+        if bits not in self._active_rows:
+            keep = self.dubois_keep_mask(block_map)
+            if keep is None:
+                self._active_rows[bits] = (None, 0)
+                return self._active_rows[bits]
             dropped = int(len(keep) - keep.sum())
             if dropped == 0:
                 rows = None  # nothing elided: reuse the shared full rows
@@ -174,9 +205,36 @@ class SharedPrecompute:
                 rows = (self.data.proc[keep].tolist(),
                         self.data.op[keep].tolist(),
                         self.data.addr[keep].tolist(),
-                        blocks[keep].tolist())
+                        self.data.block_ids(bits)[keep].tolist())
             self._active_rows[bits] = (rows, dropped)
         return self._active_rows[bits]
+
+    # ------------------------------------------------------------------
+    # shard plans (the intra-cell parallelism level)
+    # ------------------------------------------------------------------
+    def shard_plan(self, block_map: BlockMap, num_shards: int) -> ShardPlan:
+        """Balanced block partition for one block size (built once, cached).
+
+        Plans are built in the parent before workers fork, so every shard
+        worker of a cell inherits the same partition and resolves it by
+        digest without recomputation or serialization.
+        """
+        key = (block_map.offset_bits, num_shards)
+        if key not in self._shard_plans:
+            plan = plan_shards(self.data.block_ids(block_map.offset_bits),
+                               block_map.offset_bits, num_shards)
+            self._shard_plans[key] = plan
+            self._plans_by_digest[plan.digest] = plan
+        return self._shard_plans[key]
+
+    def plan_by_digest(self, digest: str) -> ShardPlan:
+        """Resolve a fork-inherited shard plan from a shard cell's digest."""
+        try:
+            return self._plans_by_digest[digest]
+        except KeyError:
+            raise ConfigError(
+                f"no shard plan with digest {digest!r} in this precompute "
+                f"(plans must be built before workers fork)") from None
 
     def per_processor_segments(self) -> List:
         """Index array of each processor's events (program order)."""
@@ -235,14 +293,55 @@ class SharedPrecompute:
                                  BlockMap(block_bytes))
         return protocol.run(self.trace)
 
+    def run_protocol_shard(self, name: str, block_bytes: int,
+                           digest: str, shard: int) -> ProtocolResult:
+        """Run one protocol over one block shard (a partial result)."""
+        return run_protocol_shard(name, self.trace, block_bytes,
+                                  self.plan_by_digest(digest), shard)
+
+    def run_classifier_shard(self, which: str, block_bytes: int,
+                             digest: str, shard: int) -> DuboisBreakdown:
+        """Run the Dubois classifier over one block shard.
+
+        The classifier ignores synchronization events, so the shard feed is
+        exactly the shard's data rows (no sync replication), composed with
+        the no-op read elision mask; the shard's own elided rows are
+        re-added to ``data_refs`` so partials sum to the full count.
+        """
+        if which != "dubois":
+            raise ConfigError(
+                f"classifier {which!r} is not block-shardable")
+        block_map = BlockMap(block_bytes)
+        plan = self.plan_by_digest(digest)
+        blocks = self.data.block_ids(block_map.offset_bits)
+        sel = plan.shard_of_rows(blocks) == shard
+        dropped = 0
+        keep = self.dubois_keep_mask(block_map)
+        if keep is not None:
+            dropped = int((sel & ~keep).sum())
+            sel &= keep
+        clf = CLASSIFIERS[which](self.trace.num_procs, block_map)
+        clf.feed_data(self.data.proc[sel].tolist(),
+                      self.data.op[sel].tolist(),
+                      self.data.addr[sel].tolist(),
+                      blocks[sel].tolist())
+        return dataclasses.replace(clf.finish(),
+                                   data_refs=clf.data_refs + dropped)
+
     def run_cell(self, cell: Cell):
-        kind, block_bytes, which = cell
+        kind, block_bytes, which = cell[:3]
         if kind == "classify":
             return self.run_classifier(which, block_bytes)
         if kind == "compare":
             return self.run_comparison(block_bytes)
         if kind == "protocol":
             return self.run_protocol(which, block_bytes)
+        if kind == "protocol-shard":
+            return self.run_protocol_shard(which, block_bytes,
+                                           cell[3], cell[4])
+        if kind == "classify-shard":
+            return self.run_classifier_shard(which, block_bytes,
+                                             cell[3], cell[4])
         raise ConfigError(f"unknown grid cell kind {kind!r}")
 
 
@@ -280,12 +379,17 @@ class ExecutionOptions:
     strict_invariants: bool = False
     #: Deterministic fault injection (tests only).
     fault_plan: Optional[FaultPlan] = None
+    #: Block shards per shardable cell (``None``/``0``: automatic — split
+    #: spare workers when the grid has fewer cells than jobs; ``1``:
+    #: disable intra-cell sharding).
+    shards: Optional[int] = None
 
     def engine_kwargs(self) -> dict:
         return {"retry": self.retry, "timeout": self.timeout,
                 "checkpoint_dir": self.checkpoint_dir,
                 "strict_invariants": self.strict_invariants,
-                "fault_plan": self.fault_plan}
+                "fault_plan": self.fault_plan,
+                "shards": self.shards}
 
 
 class SweepEngine:
@@ -318,6 +422,15 @@ class SweepEngine:
         :class:`~repro.errors.InvariantViolationError`.
     fault_plan:
         Deterministic :class:`~repro.runtime.faults.FaultPlan` (tests).
+    shards:
+        Intra-cell block shards per shardable cell (protocol cells and
+        Dubois classify cells).  ``None`` or ``0`` (default) is automatic:
+        the two-level scheduler keeps plain grid fan-out while there are
+        at least as many cells as jobs, and splits the spare workers into
+        ``ceil(jobs / cells)`` shards per cell when the grid is smaller
+        than the machine.  ``1`` disables sharding; an explicit ``P >= 2``
+        forces ``P`` shards per shardable cell regardless of grid size.
+        Sharded cells merge to results bit-identical to unsharded runs.
     trace_key:
         Stable identity of the trace for checkpoint keying; defaults to
         the workload's trace-cache key via :meth:`for_workload`, else a
@@ -330,6 +443,7 @@ class SweepEngine:
                  checkpoint_dir: Optional[str] = None,
                  strict_invariants: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
+                 shards: Optional[int] = None,
                  trace_key: Optional[str] = None):
         self.trace = trace
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
@@ -338,6 +452,9 @@ class SweepEngine:
         self.checkpoint_dir = checkpoint_dir
         self.strict_invariants = strict_invariants
         self.fault_plan = fault_plan
+        if shards is not None and shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {shards}")
+        self.shards = shards or None  # 0 normalizes to automatic
         self._trace_key = trace_key
         self._precompute: Optional[SharedPrecompute] = None
 
@@ -382,8 +499,40 @@ class SweepEngine:
         return self._trace_key
 
     # ------------------------------------------------------------------
-    # grid execution
+    # grid execution (two-level scheduler)
     # ------------------------------------------------------------------
+    def _shards_per_cell(self, pending_cells: int) -> int:
+        """Shard count for this grid (level two of the scheduler).
+
+        An explicit ``shards`` setting always wins.  In automatic mode the
+        grid keeps plain cell fan-out while it has at least as many cells
+        as workers; only when the grid is smaller than the machine are the
+        spare workers split into shards per cell.
+        """
+        if self.shards is not None:
+            return self.shards
+        if self.jobs <= 1 or pending_cells == 0 \
+                or pending_cells >= self.jobs:
+            return 1
+        return -(-self.jobs // pending_cells)  # ceil
+
+    @staticmethod
+    def _shardable(cell: Cell) -> bool:
+        """True for cells whose state is per-(block, processor)."""
+        kind, _, which = cell[:3]
+        if kind == "protocol":
+            return which in SHARDABLE_PROTOCOLS
+        return kind == "classify" and which == "dubois"
+
+    def _merge_cell(self, cell: Cell, parts: List):
+        """Merge one cell's per-shard partials into its full result."""
+        if cell[0] == "protocol":
+            return merge_shard_results(parts)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged = merged + part
+        return merged
+
     def run_grid(self, cells: Sequence[Cell]) -> List:
         """Run every cell, returning results in cell order.
 
@@ -392,20 +541,47 @@ class SweepEngine:
         journaled when ``checkpoint_dir`` is set (and cells already in the
         journal are returned without recomputation); each fresh result
         passes the post-cell invariant guard before being accepted.
+
+        When the grid has spare workers (or ``shards`` is set), shardable
+        cells are expanded into per-block-shard subtasks that run on the
+        same supervised pool and merge back into bit-identical results.
+        Per-shard partials are journaled under plan-digest-qualified keys,
+        so a resumed sweep re-runs only incomplete shards and can never
+        mix partials from two different shard plans; the merged cell is
+        then journaled under its plain key, exactly like an unsharded run.
         """
         cells = [tuple(cell) for cell in cells]
         pre = self.precompute
-        jobs = min(self.jobs, len(cells)) if cells else 1
-        journal = completed = None
+        journal = None
+        completed: Dict[Tuple, object] = {}
         if self.checkpoint_dir is not None:
             journal = CheckpointJournal(self.checkpoint_dir or None,
                                         self.trace_key)
             completed = journal.load()
 
-        def on_result(cell, result):
-            self._guard_cell(cell, result)
+        pending = [c for c in cells if c not in completed]
+        shards = self._shards_per_cell(len(set(pending)))
+        tasks: List[Tuple] = []
+        groups: Dict[Tuple, List[Tuple]] = {}
+        for cell in cells:
+            if cell in completed or cell in groups:
+                continue
+            plan = None
+            if shards > 1 and self._shardable(cell):
+                plan = pre.shard_plan(BlockMap(cell[1]), shards)
+            if plan is not None and plan.num_shards > 1:
+                kind, bb, which = cell[:3]
+                groups[cell] = [(f"{kind}-shard", bb, which, plan.digest, s)
+                                for s in range(plan.num_shards)]
+                tasks.extend(groups[cell])
+            else:
+                tasks.append(cell)
+        jobs = min(self.jobs, len(tasks)) if tasks else 1
+
+        def on_result(task, result):
+            self._guard_cell(task, result)
             if journal is not None:
-                journal.record(cell, result)
+                journal.record(task, result)
 
         if jobs > 1:
             # Warm the shared state in the parent so every forked worker
@@ -415,8 +591,23 @@ class SweepEngine:
                                 timeout=self.timeout,
                                 fault_plan=self.fault_plan)
         try:
-            return supervisor.run(cells, completed=completed,
-                                  on_result=on_result)
+            by_task = dict(zip(tasks, supervisor.run(
+                tasks, completed=completed or None, on_result=on_result)))
+            results = []
+            for cell in cells:
+                if cell in completed:
+                    results.append(completed[cell])
+                elif cell in groups:
+                    merged = self._merge_cell(
+                        cell, [by_task[sc] for sc in groups[cell]])
+                    self._guard_cell(cell, merged)
+                    if journal is not None:
+                        journal.record(cell, merged)
+                    results.append(merged)
+                    completed[cell] = merged  # duplicate cells in the grid
+                else:
+                    results.append(by_task[cell])
+            return results
         finally:
             if journal is not None:
                 journal.close()

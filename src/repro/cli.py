@@ -59,11 +59,14 @@ def _engine_options(args):
     timeout = getattr(args, "timeout", None)
     resume = getattr(args, "resume", None)
     strict = getattr(args, "strict_invariants", False)
-    if retries is None and timeout is None and resume is None and not strict:
+    shards = getattr(args, "shards", None)
+    if (retries is None and timeout is None and resume is None
+            and not strict and shards is None):
         return None
     retry = RetryPolicy.from_retries(retries) if retries is not None else None
     return ExecutionOptions(retry=retry, timeout=timeout,
-                            checkpoint_dir=resume, strict_invariants=strict)
+                            checkpoint_dir=resume, strict_invariants=strict,
+                            shards=shards)
 
 
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
@@ -104,9 +107,11 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, _trace_cache(args))
     names = [args.protocol] if args.protocol else None
-    for name, result in run_protocols(trace, args.block, names).items():
+    results = run_protocols(trace, args.block, names, jobs=args.jobs,
+                            options=_engine_options(args))
+    for name, result in results.items():
         print(result.describe())
     return 0
 
@@ -223,6 +228,11 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--strict-invariants", action="store_true",
                    help="fail on a post-cell invariant violation instead "
                         "of warning")
+    p.add_argument("--shards", type=int, default=None, metavar="P",
+                   help="block shards per protocol/classifier cell "
+                        "(1 = never shard; 0 = automatic: split spare "
+                        "workers when the grid has fewer cells than jobs, "
+                        "which is also the default)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -246,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=64)
     p.add_argument("--protocol", choices=protocol_names(),
                    help="one protocol (default: all)")
+    _add_engine_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("table1", help="reproduce Table 1")

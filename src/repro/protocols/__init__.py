@@ -9,7 +9,7 @@ from .maxsched import MAXSchedule
 from .min_wt import MINProtocol
 from .otf import OTFProtocol
 from .rd import RDProtocol
-from .results import Counters, ProtocolResult
+from .results import Counters, ProtocolResult, merge_shard_results
 from .runner import (
     ALL_PROTOCOLS,
     make_protocol,
@@ -19,6 +19,15 @@ from .runner import (
     run_protocols,
 )
 from .sd import SDProtocol
+from .sharding import (
+    SHARDABLE_PROTOCOLS,
+    ShardPlan,
+    plan_for_trace,
+    plan_shards,
+    run_protocol_shard,
+    run_protocol_sharded,
+    shard_subtrace,
+)
 from .sector import SectorProtocol, sector_sweep_sizes
 from .traffic import Traffic, TrafficModel, estimate_traffic, traffic_per_reference
 from .update import CUProtocol, WUProtocol
@@ -28,6 +37,8 @@ from .wbwi import WBWIProtocol
 __all__ = [
     "ALL_PROTOCOLS",
     "Counters",
+    "SHARDABLE_PROTOCOLS",
+    "ShardPlan",
     "FiniteOTFProtocol",
     "LifetimeTracker",
     "MAXSchedule",
@@ -48,10 +59,16 @@ __all__ = [
     "estimate_traffic",
     "traffic_per_reference",
     "make_protocol",
+    "merge_shard_results",
+    "plan_for_trace",
+    "plan_shards",
     "protocol_names",
     "register",
     "run_protocol",
     "run_protocol_grid",
+    "run_protocol_shard",
+    "run_protocol_sharded",
     "run_protocols",
     "sector_sweep_sizes",
+    "shard_subtrace",
 ]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, Sequence
 
 from ..classify.breakdown import DuboisBreakdown
+from ..errors import ProtocolError
 
 
 @dataclass
@@ -41,11 +42,36 @@ class Counters:
     replacements: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {name: getattr(self, name) for name in (
-            "fetches", "invalidations_applied", "invalidations_sent",
-            "word_invalidations", "write_throughs", "ownership_misses",
-            "stores_buffered", "stores_combined", "ownership_transfers",
-            "replacements")}
+        """All counters by field name.
+
+        Derived from ``dataclasses.fields`` so a counter added later can
+        never silently vanish from reports, checkpoints or merges.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def merge(cls, parts: Iterable["Counters"]) -> "Counters":
+        """Sum counters across block shards (or any disjoint partition).
+
+        Every field is a count of events attributable to a single
+        (processor, block) pair — MIN's ``write_throughs`` count stores
+        (one block each), SD/SRD's ``stores_buffered``/``stores_combined``
+        count per-(proc, block) buffer entries — so summing per-shard
+        counters reproduces the whole-trace counters exactly.  Per-proc
+        store-buffer *occupancy* across blocks is not a counter and is not
+        modeled cross-shard (see :mod:`repro.protocols.sharding`).
+        """
+        total = cls()
+        names = [f.name for f in fields(cls)]
+        for part in parts:
+            for name in names:
+                value = getattr(part, name)
+                if not isinstance(value, int):
+                    raise ProtocolError(
+                        f"counter {name!r} is not an int and cannot be "
+                        f"shard-merged: {value!r}")
+                setattr(total, name, getattr(total, name) + value)
+        return total
 
 
 @dataclass(frozen=True)
@@ -98,3 +124,35 @@ class ProtocolResult:
         return (f"{self.protocol:5s} B={self.block_bytes:<5d} "
                 f"miss_rate={self.miss_rate:6.2f}%  misses={self.misses}"
                 f" (cold={b.cold} PTS={b.pts} PFS={b.pfs}{extra})")
+
+
+def merge_shard_results(parts: Sequence[ProtocolResult]) -> ProtocolResult:
+    """Merge per-shard partial results into one whole-trace result.
+
+    Valid when the parts come from a disjoint partition of the trace's
+    blocks (see :mod:`repro.protocols.sharding`): lifetimes, miss classes
+    and every counter are per-(block, processor), so the merged result is
+    bit-identical to a single whole-trace run.  All parts must describe
+    the same protocol, trace, block size and processor count.
+    """
+    if not parts:
+        raise ProtocolError("cannot merge an empty shard result list")
+    first = parts[0]
+    for part in parts[1:]:
+        for attr in ("protocol", "trace_name", "block_bytes", "num_procs"):
+            if getattr(part, attr) != getattr(first, attr):
+                raise ProtocolError(
+                    f"shard results disagree on {attr}: "
+                    f"{getattr(first, attr)!r} vs {getattr(part, attr)!r}")
+    breakdown = first.breakdown
+    for part in parts[1:]:
+        breakdown = breakdown + part.breakdown
+    return ProtocolResult(
+        protocol=first.protocol,
+        trace_name=first.trace_name,
+        block_bytes=first.block_bytes,
+        num_procs=first.num_procs,
+        breakdown=breakdown,
+        counters=Counters.merge(p.counters for p in parts),
+        replacement_misses=sum(p.replacement_misses for p in parts),
+    )

@@ -1,0 +1,236 @@
+"""Block-sharded execution of one protocol or classifier run.
+
+The sweep engine parallelizes the *grid* (block size × protocol), but each
+cell is one sequential pass over the whole trace, so a lone Figure-6b cell
+on the paper-large suite uses one core no matter how many ``--jobs`` are
+given.  This module supplies the missing level of parallelism: one cell is
+split across worker processes *by block id*.
+
+Why this is legal
+-----------------
+Every protocol in the paper's line-up (MIN, OTF, RD, SD, SRD, WBWI, MAX)
+and the Appendix A classifier keep all their mutable state per
+(block, processor) — validity masks, ownership, word-invalidation buffers,
+per-block store-buffer entries, lifetime trackers, word versions (a word
+belongs to exactly one block).  No handler ever couples two different
+blocks, so the blocks of a trace can be simulated independently, provided
+each shard still sees the events that drive *schedule points*:
+
+* ACQUIRE events apply RD/SRD's buffered invalidations and
+* RELEASE events flush SD/SRD's store buffers and bound MAX's
+  adversarial delivery windows,
+
+and both act on every block the processor holds.  A shard therefore runs
+over a sub-trace holding **its blocks' data rows plus every ACQUIRE and
+RELEASE row of the whole trace**, in original interleaved order.  The
+index mapping from the full trace into a shard sub-trace is strictly
+monotonic, and every protocol compares event positions only by order
+(never by absolute distance), so each per-(block, processor) state machine
+takes exactly the transitions it takes in the whole-trace run.
+
+Merging is plain addition: every :class:`~repro.protocols.results.Counters`
+field is incremented for events attributable to a single (processor,
+block) pair — MIN's ``write_throughs`` count stores (a store hits one
+block), SD/SRD's ``stores_buffered``/``stores_combined`` count per-(proc,
+block) buffer entries — so per-shard counters sum to the whole-trace
+counters exactly (asserted by the equivalence tests).  What is *not*
+modeled cross-shard is per-processor store-buffer **occupancy** (how many
+blocks one processor has buffered at an instant, across blocks); no
+current counter depends on it, and :func:`merge_shard_results` documents
+the constraint for future ones.
+
+The finite-cache extension (:class:`~repro.protocols.finite.
+FiniteOTFProtocol`) is **not** shardable: LRU replacement couples all
+blocks that map to a cache set.  It is not in :data:`SHARDABLE_PROTOCOLS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ProtocolError
+from ..mem.addresses import BlockMap
+from ..trace.trace import Trace
+
+#: Protocols whose state is fully per-(block, processor) and may be
+#: block-sharded.  Everything in the public registry qualifies; the
+#: finite-cache and sector extensions (unregistered) do not.
+SHARDABLE_PROTOCOLS = frozenset(
+    {"MIN", "OTF", "RD", "SD", "SRD", "WBWI", "MAX", "WU", "CU"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of one trace's blocks into shards.
+
+    Built once per (trace, block size, shard count) by :func:`plan_shards`
+    and shared (fork-inherited) by every shard worker of a cell.
+
+    Parameters
+    ----------
+    offset_bits:
+        The block-size configuration the plan was computed for (block ids
+        are ``addr >> offset_bits``).
+    num_shards:
+        Number of shards; at most the number of distinct blocks.
+    unique_blocks:
+        Sorted distinct block ids of the trace's data rows.
+    assignment:
+        Shard index per entry of ``unique_blocks``.
+    shard_events:
+        Data-event count per shard (the balancing objective).
+    digest:
+        Stable content hash of the full assignment.  Checkpoint journal
+        keys of per-shard results embed this digest, so a resumed sweep
+        can never mix partial results from two different shard plans.
+    """
+
+    offset_bits: int
+    num_shards: int
+    unique_blocks: np.ndarray
+    assignment: np.ndarray
+    shard_events: Tuple[int, ...]
+    digest: str
+
+    def shard_of_rows(self, block_ids: np.ndarray) -> np.ndarray:
+        """Shard index per row, given the rows' block ids (vectorized).
+
+        Every queried block must be a data block of the planned trace.
+        """
+        if len(self.unique_blocks) == 0:
+            return np.zeros(len(block_ids), dtype=np.int64)
+        pos = np.searchsorted(self.unique_blocks, block_ids)
+        return self.assignment[np.minimum(pos, len(self.assignment) - 1)]
+
+    def describe(self) -> str:
+        lo = min(self.shard_events) if self.shard_events else 0
+        hi = max(self.shard_events) if self.shard_events else 0
+        return (f"ShardPlan({self.num_shards} shards over "
+                f"{len(self.unique_blocks)} blocks, "
+                f"{lo}..{hi} events/shard, digest {self.digest})")
+
+
+def plan_shards(data_block_ids: np.ndarray, offset_bits: int,
+                num_shards: int) -> ShardPlan:
+    """Partition blocks into ``num_shards`` shards balanced by event count.
+
+    Longest-processing-time greedy: blocks are taken heaviest first (ties
+    by ascending block id, so the plan is deterministic) and assigned to
+    the currently lightest shard.  The shard count is clamped to the
+    number of distinct blocks — one block cannot be split.
+    """
+    if num_shards < 1:
+        raise ConfigError(f"num_shards must be positive, got {num_shards}")
+    unique, counts = np.unique(np.asarray(data_block_ids, dtype=np.int64),
+                               return_counts=True)
+    num_shards = min(num_shards, max(1, len(unique)))
+    assignment = np.zeros(len(unique), dtype=np.int64)
+    loads = [0] * num_shards
+    if num_shards > 1:
+        # argsort on (-count, block) pairs: heaviest first, stable by id.
+        order = np.lexsort((unique, -counts))
+        heap = [(0, s) for s in range(num_shards)]
+        for u in order:
+            load, shard = heapq.heappop(heap)
+            assignment[u] = shard
+            load += int(counts[u])
+            loads[shard] = load
+            heapq.heappush(heap, (load, shard))
+    else:
+        loads[0] = int(counts.sum())
+    h = hashlib.sha1()
+    h.update(f"v1|{offset_bits}|{num_shards}|{len(unique)}|".encode())
+    h.update(np.ascontiguousarray(unique).tobytes())
+    h.update(np.ascontiguousarray(assignment).tobytes())
+    return ShardPlan(offset_bits=offset_bits, num_shards=num_shards,
+                     unique_blocks=unique, assignment=assignment,
+                     shard_events=tuple(loads), digest=h.hexdigest()[:16])
+
+
+def plan_for_trace(trace: Trace, block_map: BlockMap,
+                   num_shards: int) -> ShardPlan:
+    """Build a :class:`ShardPlan` for one trace at one block size."""
+    cols = trace.columns()
+    data_blocks = cols.block_ids(block_map.offset_bits)[cols.data_mask()]
+    return plan_shards(data_blocks, block_map.offset_bits, num_shards)
+
+
+def shard_subtrace(trace: Trace, plan: ShardPlan, shard: int) -> Trace:
+    """One shard's event subsequence as a :class:`Trace`.
+
+    Selects the shard's data rows **plus all ACQUIRE/RELEASE rows** (sync
+    events drive SD/SRD flushes, RD/SRD apply points and MAX deadlines for
+    every block a processor holds), preserving the original interleaved
+    order.  ``num_procs`` is inherited from the full trace so per-processor
+    state vectors keep their size.
+    """
+    if not 0 <= shard < plan.num_shards:
+        raise ProtocolError(
+            f"shard {shard} out of range for {plan.num_shards}-shard plan")
+    cols = trace.columns()
+    data = cols.data_mask()
+    if len(plan.unique_blocks) == 0:
+        keep = ~data
+    else:
+        row_shard = plan.shard_of_rows(cols.block_ids(plan.offset_bits))
+        keep = ~data | (row_shard == shard)
+    return Trace(cols.take(np.flatnonzero(keep)), trace.num_procs,
+                 name=trace.name, meta=trace.meta, validate=False)
+
+
+def run_protocol_shard(name: str, trace: Trace, block_bytes: int,
+                       plan: ShardPlan, shard: int):
+    """Run one protocol over one shard of a trace (a partial result).
+
+    The returned :class:`~repro.protocols.results.ProtocolResult` covers
+    only the shard's blocks; merge all shards with
+    :func:`~repro.protocols.results.merge_shard_results`.
+    """
+    from .runner import make_protocol  # deferred: runner imports protocols
+
+    if name not in SHARDABLE_PROTOCOLS:
+        raise ProtocolError(
+            f"protocol {name!r} is not block-shardable "
+            f"(shardable: {sorted(SHARDABLE_PROTOCOLS)})")
+    block_map = BlockMap(block_bytes)
+    if block_map.offset_bits != plan.offset_bits:
+        raise ProtocolError(
+            f"shard plan was built for offset_bits={plan.offset_bits}, "
+            f"cell uses {block_map.offset_bits}")
+    protocol = make_protocol(name, trace.num_procs, block_map)
+    return protocol.run(shard_subtrace(trace, plan, shard))
+
+
+def run_protocol_sharded(name: str, trace: Trace, block_bytes: int,
+                         num_shards: int,
+                         *, plan: Optional[ShardPlan] = None):
+    """Serial reference driver: run every shard in-process and merge.
+
+    Useful for equivalence testing and single-process validation; the
+    parallel path lives in :class:`repro.analysis.engine.SweepEngine`,
+    which runs the same shard cells on the supervised worker pool.
+    """
+    from .results import merge_shard_results
+
+    block_map = BlockMap(block_bytes)
+    if plan is None:
+        plan = plan_for_trace(trace, block_map, num_shards)
+    parts = [run_protocol_shard(name, trace, block_bytes, plan, s)
+             for s in range(plan.num_shards)]
+    return merge_shard_results(parts)
+
+
+def partition_indices(plan: ShardPlan,
+                      data_block_ids: np.ndarray) -> Sequence[np.ndarray]:
+    """Row-index arrays partitioning data rows by shard (classifier feed).
+
+    Unlike protocols, the Appendix A classifier ignores sync events, so a
+    classifier shard is exactly the shard's data rows — no replication.
+    """
+    row_shard = plan.shard_of_rows(np.asarray(data_block_ids, dtype=np.int64))
+    return [np.flatnonzero(row_shard == s) for s in range(plan.num_shards)]

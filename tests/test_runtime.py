@@ -183,6 +183,49 @@ class TestEngineFaults:
             plan.apply_serial(("x",), 1)
         plan.apply_serial(("x",), 2)  # second attempt passes
 
+    def test_shard_worker_crash_recovers_bit_identical(self, trace):
+        """A killed *shard* worker is retried like any cell; the merged
+        result stays bit-identical to the unsharded run."""
+        from repro.protocols.runner import run_protocol
+
+        clean = run_protocol("SD", trace, 64)
+        cells = [("protocol", 64, "SD")]
+        # One cell, three shards: the expanded task list is the three
+        # shard subtasks, so index 1 is the middle shard's worker.
+        plan = FaultPlan(crash={1: 1})
+        engine = SweepEngine(trace, jobs=2, shards=3, retry=FAST_RETRY,
+                             fault_plan=plan)
+        assert engine.run_grid(cells) == [clean]
+
+    def test_shard_worker_hang_recovers_bit_identical(self, trace):
+        from repro.protocols.runner import run_protocol
+
+        clean = run_protocol("MAX", trace, 64)
+        plan = FaultPlan(hang={0: 1})  # first shard hangs once
+        engine = SweepEngine(trace, jobs=2, shards=2, timeout=2.0,
+                             retry=FAST_RETRY, fault_plan=plan)
+        assert engine.run_grid([("protocol", 64, "MAX")]) == [clean]
+
+    def test_shard_crash_with_checkpoint_resumes(self, tmp_path, trace):
+        """Crash-until-fallback on a shard cell, with journaling on: the
+        sweep completes (serial fallback) and a resume re-runs nothing."""
+        from repro.protocols.runner import run_protocol
+
+        ckpt = str(tmp_path)
+        clean = run_protocol("OTF", trace, 64)
+        plan = FaultPlan(crash={0: 10_000})
+        engine = SweepEngine(trace, jobs=2, shards=2, retry=FAST_RETRY,
+                             checkpoint_dir=ckpt, fault_plan=plan)
+        assert engine.run_grid([("protocol", 64, "OTF")]) == [clean]
+        resumed = SweepEngine(trace, jobs=2, shards=2, retry=FAST_RETRY,
+                              checkpoint_dir=ckpt)
+        ran = []
+        pre = resumed.precompute
+        original = pre.run_cell
+        pre.run_cell = lambda c: (ran.append(c), original(c))[1]
+        assert resumed.run_grid([("protocol", 64, "OTF")]) == [clean]
+        assert ran == []
+
 
 # ----------------------------------------------------------------------
 # checkpoint / resume
