@@ -11,6 +11,7 @@ import time
 import pytest
 
 from repro.analysis.engine import SweepEngine
+from repro.runtime.resources import peak_rss_bytes
 from repro.classify import (
     DuboisClassifier,
     EggersClassifier,
@@ -34,10 +35,13 @@ def test_classifier_throughput(benchmark, bench_json, mp3d200, classifier):
         rounds=3, iterations=1)
     assert result.total > 0
     eps = int(len(mp3d200) / benchmark.stats.stats.mean)
+    rss_kb = peak_rss_bytes("self") // 1024
     benchmark.extra_info["events"] = len(mp3d200)
     benchmark.extra_info["events_per_sec"] = eps
+    benchmark.extra_info["max_rss_kb"] = rss_kb
     bench_json(f"classify/{classifier.__name__}/MP3D200/B64",
-               mode="serial", events=len(mp3d200), events_per_sec=eps)
+               mode="serial", events=len(mp3d200), events_per_sec=eps,
+               max_rss_kb=rss_kb)
 
 
 @pytest.mark.parametrize("protocol", ["MIN", "OTF", "RD", "SD", "SRD",
@@ -48,10 +52,13 @@ def test_protocol_throughput(benchmark, bench_json, mp3d200, protocol):
         rounds=3, iterations=1)
     assert result.misses > 0
     eps = int(len(mp3d200) / benchmark.stats.stats.mean)
+    rss_kb = peak_rss_bytes("self") // 1024
     benchmark.extra_info["events"] = len(mp3d200)
     benchmark.extra_info["events_per_sec"] = eps
+    benchmark.extra_info["max_rss_kb"] = rss_kb
     bench_json(f"protocol/{protocol}/MP3D200/B64",
-               mode="serial", events=len(mp3d200), events_per_sec=eps)
+               mode="serial", events=len(mp3d200), events_per_sec=eps,
+               max_rss_kb=rss_kb)
 
 
 def test_workload_generation_throughput(benchmark, bench_json):
@@ -59,6 +66,7 @@ def test_workload_generation_throughput(benchmark, bench_json):
         lambda: make_workload("MP3D200").generate(), rounds=1, iterations=1)
     assert len(trace) > 10_000
     benchmark.extra_info["events"] = len(trace)
+    benchmark.extra_info["max_rss_kb"] = peak_rss_bytes("self") // 1024
     bench_json("generate/MP3D200", mode="serial", events=len(trace),
                events_per_sec=int(len(trace) / benchmark.stats.stats.mean))
 

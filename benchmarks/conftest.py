@@ -38,7 +38,17 @@ def host_cores() -> int:
 
 
 def record_throughput(name: str, **fields) -> None:
-    """Queue one named entry for ``BENCH_throughput.json``."""
+    """Queue one named entry for ``BENCH_throughput.json``.
+
+    Every entry is stamped with the process's peak RSS at record time
+    (``ru_maxrss``, self + forked workers), so the JSON carries a memory
+    trajectory alongside the events/s one — the observable the resource
+    governor's footprint model is calibrated against.
+    """
+    from repro.runtime.resources import peak_rss_bytes
+
+    fields.setdefault("max_rss_kb", max(peak_rss_bytes("self"),
+                                        peak_rss_bytes("children")) // 1024)
     _RECORDS[name] = fields
 
 

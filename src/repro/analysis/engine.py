@@ -48,7 +48,11 @@ from ..classify.compare import ClassificationComparison
 from ..classify.dubois import DuboisClassifier
 from ..classify.eggers import EggersClassifier
 from ..classify.torrellas import TorrellasClassifier
-from ..errors import ConfigError, InvariantViolationError
+from ..errors import (
+    ConfigError,
+    InvariantViolationError,
+    ResourceExhaustedError,
+)
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
 from ..protocols.results import ProtocolResult, merge_shard_results
 from ..protocols.runner import ALL_PROTOCOLS, make_protocol
@@ -60,6 +64,14 @@ from ..protocols.sharding import (
 )
 from ..runtime.checkpoint import CheckpointJournal
 from ..runtime.faults import FaultPlan
+from ..runtime.resources import (
+    degradation_rungs,
+    estimate_cell_bytes,
+    format_size,
+    plan_admission,
+    resolve_memory_budget,
+    warn_resource,
+)
 from ..runtime.retry import RetryPolicy
 from ..runtime.supervisor import Supervisor
 from ..trace.cache import WorkloadTraceCache, workload_cache_key
@@ -383,13 +395,17 @@ class ExecutionOptions:
     #: spare workers when the grid has fewer cells than jobs; ``1``:
     #: disable intra-cell sharding).
     shards: Optional[int] = None
+    #: Memory budget in bytes for the whole sweep (``--memory-budget``);
+    #: ``None`` falls back to ``$REPRO_MEMORY_BUDGET``, else ungoverned.
+    memory_budget: Optional[int] = None
 
     def engine_kwargs(self) -> dict:
         return {"retry": self.retry, "timeout": self.timeout,
                 "checkpoint_dir": self.checkpoint_dir,
                 "strict_invariants": self.strict_invariants,
                 "fault_plan": self.fault_plan,
-                "shards": self.shards}
+                "shards": self.shards,
+                "memory_budget": self.memory_budget}
 
 
 class SweepEngine:
@@ -431,6 +447,19 @@ class SweepEngine:
         than the machine.  ``1`` disables sharding; an explicit ``P >= 2``
         forces ``P`` shards per shardable cell regardless of grid size.
         Sharded cells merge to results bit-identical to unsharded runs.
+    memory_budget:
+        Total memory budget for the sweep in bytes (``--memory-budget``).
+        ``None`` falls back to ``$REPRO_MEMORY_BUDGET``; when neither is
+        set the sweep is ungoverned.  With a budget, preflight admission
+        (:func:`repro.runtime.resources.plan_admission`) clamps worker
+        concurrency (and may raise the shard count) so the estimated
+        footprints fit, and every worker soft-caps its address space at
+        its fair share via ``RLIMIT_AS``.  An over-budget worker raises a
+        clean ``MemoryError`` that — like a kernel SIGKILL — moves the
+        sweep down the degradation ladder (halve workers, raise shards,
+        then serial in-process) instead of crash-looping; every rung
+        reuses the completed cells, so the final results are
+        bit-identical to an unconstrained run.
     trace_key:
         Stable identity of the trace for checkpoint keying; defaults to
         the workload's trace-cache key via :meth:`for_workload`, else a
@@ -444,6 +473,7 @@ class SweepEngine:
                  strict_invariants: bool = False,
                  fault_plan: Optional[FaultPlan] = None,
                  shards: Optional[int] = None,
+                 memory_budget: Optional[int] = None,
                  trace_key: Optional[str] = None):
         self.trace = trace
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
@@ -455,6 +485,7 @@ class SweepEngine:
         if shards is not None and shards < 0:
             raise ConfigError(f"shards must be >= 0, got {shards}")
         self.shards = shards or None  # 0 normalizes to automatic
+        self.memory_budget = resolve_memory_budget(memory_budget)
         self._trace_key = trace_key
         self._precompute: Optional[SharedPrecompute] = None
 
@@ -501,20 +532,25 @@ class SweepEngine:
     # ------------------------------------------------------------------
     # grid execution (two-level scheduler)
     # ------------------------------------------------------------------
-    def _shards_per_cell(self, pending_cells: int) -> int:
+    def _shards_per_cell(self, pending_cells: int,
+                         jobs: Optional[int] = None,
+                         shards_setting: Optional[int] = None) -> int:
         """Shard count for this grid (level two of the scheduler).
 
-        An explicit ``shards`` setting always wins.  In automatic mode the
+        An explicit shard setting always wins.  In automatic mode the
         grid keeps plain cell fan-out while it has at least as many cells
         as workers; only when the grid is smaller than the machine are the
-        spare workers split into shards per cell.
+        spare workers split into shards per cell.  ``jobs`` and
+        ``shards_setting`` override the engine's configuration — the
+        degradation ladder re-plans with them rung by rung.
         """
-        if self.shards is not None:
-            return self.shards
-        if self.jobs <= 1 or pending_cells == 0 \
-                or pending_cells >= self.jobs:
+        jobs = self.jobs if jobs is None else jobs
+        shards = self.shards if shards_setting is None else shards_setting
+        if shards is not None:
+            return shards
+        if jobs <= 1 or pending_cells == 0 or pending_cells >= jobs:
             return 1
-        return -(-self.jobs // pending_cells)  # ceil
+        return -(-jobs // pending_cells)  # ceil
 
     @staticmethod
     def _shardable(cell: Cell) -> bool:
@@ -549,18 +585,71 @@ class SweepEngine:
         so a resumed sweep re-runs only incomplete shards and can never
         mix partials from two different shard plans; the merged cell is
         then journaled under its plain key, exactly like an unsharded run.
+
+        Execution is additionally *resource-governed*: an OOM-class
+        failure (a worker ``MemoryError`` under its ``RLIMIT_AS`` cap, or
+        a SIGKILL/137 death) does not blind-retry the same configuration —
+        it moves the sweep down the degradation ladder
+        (:func:`repro.runtime.resources.degradation_rungs`): halve worker
+        concurrency, then raise the shard count (smaller per-worker
+        footprint over the bit-identical merge path), then run serial
+        in-process.  Every rung resumes from the cells and shard partials
+        already completed, so a degraded sweep returns the same results an
+        unconstrained one would.
         """
         cells = [tuple(cell) for cell in cells]
-        pre = self.precompute
         journal = None
         completed: Dict[Tuple, object] = {}
         if self.checkpoint_dir is not None:
             journal = CheckpointJournal(self.checkpoint_dir or None,
                                         self.trace_key)
             completed = journal.load()
+        try:
+            rungs = degradation_rungs(self.jobs, self.shards)
+            for step, rung in enumerate(rungs):
+                final = step == len(rungs) - 1
+                try:
+                    return self._run_grid_once(
+                        cells, completed, journal,
+                        jobs=1 if rung.serial else rung.jobs,
+                        shards_setting=rung.shards,
+                        oom_action="retry" if final else "raise")
+                except ResourceExhaustedError as exc:
+                    if final or exc.kind != "memory":
+                        raise
+                    if exc.partial:
+                        completed.update(exc.partial)
+                    detail = str(exc).splitlines()[0]
+                    warn_resource(
+                        f"OOM-class failure at rung {rung.label!r} "
+                        f"({detail}); degrading to "
+                        f"{rungs[step + 1].label!r} with "
+                        f"{len(exc.partial or {})} task(s) salvaged")
+            raise AssertionError("unreachable: ladder ends serial")
+        finally:
+            if journal is not None:
+                journal.close()
 
+    def _run_grid_once(self, cells: List[Tuple], completed: Dict[Tuple, object],
+                       journal: Optional[CheckpointJournal], *,
+                       jobs: int, shards_setting: Optional[int],
+                       oom_action: str) -> List:
+        """One ladder rung: plan, admit, fan out, merge.
+
+        ``completed`` carries journaled results *and* the partials
+        salvaged from earlier rungs (keyed by task — plain cells and
+        plan-digest-qualified shard subtasks), so each rung re-runs only
+        what no earlier attempt finished.  Raises
+        :class:`~repro.errors.ResourceExhaustedError` on an OOM-class
+        failure when ``oom_action="raise"`` — the ladder's signal to
+        re-plan.
+        """
+        pre = self.precompute
         pending = [c for c in cells if c not in completed]
-        shards = self._shards_per_cell(len(set(pending)))
+        jobs, shards_setting, worker_cap = self._admit(
+            jobs, shards_setting, pending)
+        shards = self._shards_per_cell(len(set(pending)), jobs,
+                                       shards_setting)
         tasks: List[Tuple] = []
         groups: Dict[Tuple, List[Tuple]] = {}
         for cell in cells:
@@ -576,7 +665,7 @@ class SweepEngine:
                 tasks.extend(groups[cell])
             else:
                 tasks.append(cell)
-        jobs = min(self.jobs, len(tasks)) if tasks else 1
+        jobs = min(jobs, len(tasks)) if tasks else 1
 
         def on_result(task, result):
             self._guard_cell(task, result)
@@ -589,28 +678,54 @@ class SweepEngine:
             pre.data_rows()
         supervisor = Supervisor(pre.run_cell, jobs=jobs, retry=self.retry,
                                 timeout=self.timeout,
-                                fault_plan=self.fault_plan)
-        try:
-            by_task = dict(zip(tasks, supervisor.run(
-                tasks, completed=completed or None, on_result=on_result)))
-            results = []
-            for cell in cells:
-                if cell in completed:
-                    results.append(completed[cell])
-                elif cell in groups:
-                    merged = self._merge_cell(
-                        cell, [by_task[sc] for sc in groups[cell]])
-                    self._guard_cell(cell, merged)
-                    if journal is not None:
-                        journal.record(cell, merged)
-                    results.append(merged)
-                    completed[cell] = merged  # duplicate cells in the grid
-                else:
-                    results.append(by_task[cell])
-            return results
-        finally:
-            if journal is not None:
-                journal.close()
+                                fault_plan=self.fault_plan,
+                                worker_rlimit_bytes=worker_cap,
+                                oom_action=oom_action)
+        by_task = dict(zip(tasks, supervisor.run(
+            tasks, completed=completed or None, on_result=on_result)))
+        results = []
+        for cell in cells:
+            if cell in completed:
+                results.append(completed[cell])
+            elif cell in groups:
+                merged = self._merge_cell(
+                    cell, [by_task[sc] for sc in groups[cell]])
+                self._guard_cell(cell, merged)
+                if journal is not None:
+                    journal.record(cell, merged)
+                results.append(merged)
+                completed[cell] = merged  # duplicate cells in the grid
+            else:
+                results.append(by_task[cell])
+        return results
+
+    def _admit(self, jobs: int, shards_setting: Optional[int],
+               pending: List[Tuple]):
+        """Preflight admission of one rung under the memory budget.
+
+        Returns the admitted ``(jobs, shards_setting, worker_cap_bytes)``.
+        Without a budget (or for a serial rung) everything passes through
+        unchanged and uncapped.
+        """
+        if self.memory_budget is None or jobs <= 1 or not pending:
+            return jobs, shards_setting, None
+        adm = plan_admission(
+            self.memory_budget, jobs, shards_setting or 1,
+            lambda s: estimate_cell_bytes(self.trace, shards=s),
+            shardable=any(self._shardable(c) for c in pending))
+        if adm.over_budget:
+            warn_resource(
+                f"estimated footprint of one serial worker exceeds the "
+                f"memory budget ({format_size(self.memory_budget)}); "
+                f"running serial and uncapped")
+            return 1, shards_setting, None
+        if adm.jobs < jobs or adm.shards > (shards_setting or 1):
+            warn_resource(
+                f"admission under {format_size(self.memory_budget)} "
+                f"budget: {adm.describe()} (requested jobs={jobs})")
+        if adm.shards > (shards_setting or 1):
+            shards_setting = adm.shards
+        return adm.jobs, shards_setting, adm.worker_cap_bytes
 
     # ------------------------------------------------------------------
     # post-cell invariant guards

@@ -43,7 +43,8 @@ def _trace_cache(args) -> "WorkloadTraceCache | None":
     directory = getattr(args, "trace_cache", None)
     if directory is None:
         return None
-    return WorkloadTraceCache(directory or None)
+    return WorkloadTraceCache(directory or None,
+                              max_bytes=getattr(args, "cache_max_bytes", None))
 
 
 def _engine_options(args):
@@ -60,13 +61,14 @@ def _engine_options(args):
     resume = getattr(args, "resume", None)
     strict = getattr(args, "strict_invariants", False)
     shards = getattr(args, "shards", None)
+    memory_budget = getattr(args, "memory_budget", None)
     if (retries is None and timeout is None and resume is None
-            and not strict and shards is None):
+            and not strict and shards is None and memory_budget is None):
         return None
     retry = RetryPolicy.from_retries(retries) if retries is not None else None
     return ExecutionOptions(retry=retry, timeout=timeout,
                             checkpoint_dir=resume, strict_invariants=strict,
-                            shards=shards)
+                            shards=shards, memory_budget=memory_budget)
 
 
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
@@ -204,6 +206,16 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _size(text: str) -> int:
+    """argparse type for human byte sizes (``512M``, ``1.5G``, ``4096``)."""
+    from .runtime.resources import parse_size
+
+    try:
+        return parse_size(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_engine_args(p: argparse.ArgumentParser) -> None:
     """``--jobs`` / ``--trace-cache`` / resilience flags shared by the
     sweep-style commands."""
@@ -233,6 +245,20 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "(1 = never shard; 0 = automatic: split spare "
                         "workers when the grid has fewer cells than jobs, "
                         "which is also the default)")
+    p.add_argument("--memory-budget", type=_size, default=None,
+                   metavar="SIZE",
+                   help="total memory budget for the sweep (e.g. 512M, "
+                        "1.5G): admission clamps worker concurrency to "
+                        "fit, workers soft-cap their address space, and "
+                        "OOM-class failures degrade the run (fewer "
+                        "workers, more shards, then serial) instead of "
+                        "crash-looping (default: $REPRO_MEMORY_BUDGET, "
+                        "else ungoverned)")
+    p.add_argument("--cache-max-bytes", type=_size, default=None,
+                   metavar="SIZE",
+                   help="disk quota for the --trace-cache directory; "
+                        "least-recently-used entries are evicted after "
+                        "each write to stay under it (default: unbounded)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -87,6 +87,44 @@ class CellFailedError(ReproError):
         self.partial = dict(partial or {})
 
 
+class ResourceExhaustedError(ReproError):
+    """A memory or disk budget was (or would be) exceeded.
+
+    Raised by the resource governor (:mod:`repro.runtime.resources`) in
+    three situations:
+
+    * a supervised worker exceeded its ``RLIMIT_AS`` soft cap and raised
+      a clean :class:`MemoryError` (or was SIGKILLed by the kernel OOM
+      killer) — the supervisor converts either into this error so the
+      sweep engine's degradation ladder can re-plan instead of
+      crash-looping the same oversized configuration;
+    * a disk free-space preflight found less space than a trace-cache
+      entry or checkpoint journal needs;
+    * preflight admission could not fit even one worker under the
+      configured ``--memory-budget``.
+
+    ``kind`` distinguishes the resource (``"memory"`` or ``"disk"``);
+    memory-kind failures are the ones the degradation ladder reacts to.
+    """
+
+    def __init__(self, message: str, *, kind: str = "memory", cell=None,
+                 attempts=(), partial=None, limit_bytes=None,
+                 needed_bytes=None):
+        super().__init__(message)
+        #: ``"memory"`` or ``"disk"``.
+        self.kind = kind
+        #: The grid cell/task whose attempt exhausted the budget, if any.
+        self.cell = cell
+        #: Attempt history (same shape as :class:`CellFailedError`).
+        self.attempts = list(attempts)
+        #: Results of tasks that completed before the exhaustion.
+        self.partial = dict(partial or {})
+        #: The budget that was hit, in bytes (when known).
+        self.limit_bytes = limit_bytes
+        #: The estimated requirement that did not fit (when known).
+        self.needed_bytes = needed_bytes
+
+
 class CheckpointError(ReproError):
     """A sweep checkpoint journal could not be read or written."""
 

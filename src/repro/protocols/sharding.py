@@ -107,9 +107,19 @@ class ShardPlan:
         pos = np.searchsorted(self.unique_blocks, block_ids)
         return self.assignment[np.minimum(pos, len(self.assignment) - 1)]
 
+    @property
+    def max_shard_events(self) -> int:
+        """Heaviest shard's data-event count.
+
+        This is the row count the resource governor's footprint model
+        charges one shard worker for (the heaviest shard bounds every
+        worker of the cell).
+        """
+        return max(self.shard_events) if self.shard_events else 0
+
     def describe(self) -> str:
         lo = min(self.shard_events) if self.shard_events else 0
-        hi = max(self.shard_events) if self.shard_events else 0
+        hi = self.max_shard_events
         return (f"ShardPlan({self.num_shards} shards over "
                 f"{len(self.unique_blocks)} blocks, "
                 f"{lo}..{hi} events/shard, digest {self.digest})")

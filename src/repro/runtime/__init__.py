@@ -11,22 +11,61 @@ them survive partial failure:
   journal of completed cells so a killed sweep resumes without
   recomputation;
 * :class:`~repro.runtime.faults.FaultPlan` — deterministic fault
-  injection (crash / hang / raise / corrupt) that makes all of the above
-  testable.
+  injection (crash / hang / raise / exhaust-memory / corrupt) that makes
+  all of the above testable;
+* :mod:`~repro.runtime.resources` — the resource governor: calibrated
+  footprint model and preflight admission under ``--memory-budget``,
+  per-worker ``RLIMIT_AS`` soft caps, OOM-vs-crash exitcode
+  classification, the graceful-degradation ladder, and disk-budget
+  helpers for the trace cache and checkpoint directories.
 """
 
 from .checkpoint import CheckpointJournal, default_checkpoint_dir
-from .faults import FaultInjectedError, FaultPlan, corrupt_file
+from .faults import (
+    FaultInjectedError,
+    FaultPlan,
+    corrupt_file,
+    exhaust_address_space,
+)
+from .resources import (
+    DEFAULT_FOOTPRINT_MODEL,
+    Admission,
+    FootprintModel,
+    Rung,
+    apply_worker_rlimit,
+    classify_exitcode,
+    degradation_rungs,
+    ensure_free_space,
+    estimate_cell_bytes,
+    format_size,
+    parse_size,
+    peak_rss_bytes,
+    plan_admission,
+)
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .supervisor import Supervisor
 
 __all__ = [
+    "Admission",
     "CheckpointJournal",
+    "DEFAULT_FOOTPRINT_MODEL",
     "DEFAULT_RETRY_POLICY",
     "FaultInjectedError",
     "FaultPlan",
+    "FootprintModel",
     "RetryPolicy",
+    "Rung",
     "Supervisor",
+    "apply_worker_rlimit",
+    "classify_exitcode",
     "corrupt_file",
     "default_checkpoint_dir",
+    "degradation_rungs",
+    "ensure_free_space",
+    "estimate_cell_bytes",
+    "exhaust_address_space",
+    "format_size",
+    "parse_size",
+    "peak_rss_bytes",
+    "plan_admission",
 ]

@@ -165,10 +165,25 @@ class CheckpointJournal:
                     continue  # one bad record invalidates only itself
         return completed
 
+    #: Free-space preflight requirement before the journal is opened for
+    #: appending: journals are small (one JSON line per cell), but
+    #: fsyncing onto a full disk corrupts the very file that makes a
+    #: killed sweep resumable, so require modest headroom up front.
+    MIN_FREE_BYTES = 8 << 20
+
     def record(self, cell, result) -> None:
-        """Durably append one completed cell (flush + fsync)."""
+        """Durably append one completed cell (flush + fsync).
+
+        The first append runs a disk free-space preflight and raises
+        :class:`~repro.errors.ResourceExhaustedError` (``kind="disk"``)
+        rather than writing a journal the next run could not trust.
+        """
         if self._fh is None:
+            from .resources import ensure_free_space
+
             os.makedirs(self.directory, exist_ok=True)
+            ensure_free_space(self.directory, self.MIN_FREE_BYTES,
+                              label="checkpoint journal")
             self._fh = open(self.path, "a", encoding="utf-8")
         line = json.dumps({"v": _VERSION, "key": self.trace_key,
                            "cell": list(cell),

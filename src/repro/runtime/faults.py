@@ -9,10 +9,15 @@ supervisor's attempt number, so it needs no cross-process mutable state —
 a forked worker inherits the plan and decides from ``(cell, attempt)``
 alone.
 
-Crash and hang faults model *worker-level* failures (a dead process, a
-stuck cell) and therefore only fire inside worker processes; raise faults
-model deterministic per-cell errors and fire on the serial path too, which
-is how the exhausted-retries path is tested.
+Crash, hang and exhaust-memory faults model *worker-level* failures (a
+dead process, a stuck cell, an over-budget cell) and therefore only fire
+inside worker processes; raise faults model deterministic per-cell errors
+and fire on the serial path too, which is how the exhausted-retries path
+is tested.  The exhaust-memory fault genuinely allocates past the
+worker's ``RLIMIT_AS`` soft cap when one is installed (raising the same
+``MemoryError`` a real over-budget cell would), so the resource
+governor's OOM path is exercised end-to-end without a real
+machine-threatening OOM.
 
 :func:`corrupt_file` deterministically damages an on-disk cache entry
 (truncation or byte garbling) for the trace-cache integrity tests.
@@ -51,8 +56,16 @@ class FaultPlan:
     #: attempts that raise :class:`FaultInjectedError` (fires on the serial
     #: fallback path as well).
     raises: Dict[Any, int] = field(default_factory=dict)
+    #: attempts that allocate memory until the worker's ``RLIMIT_AS`` soft
+    #: cap raises ``MemoryError`` (worker-only, like crash/hang — the
+    #: serial fallback must be able to complete the cell).  Without an
+    #: installed rlimit the fault raises ``MemoryError`` directly instead
+    #: of actually threatening the machine.
+    exhaust_memory: Dict[Any, int] = field(default_factory=dict)
     #: how long a hang fault sleeps; far longer than any test timeout.
     hang_seconds: float = 3600.0
+    #: allocation step of the exhaust-memory fault.
+    exhaust_chunk_bytes: int = 16 << 20
 
     def _times(self, table: Dict[Any, int], cell, index: Optional[int]) -> int:
         if index is not None and index in table:
@@ -68,6 +81,10 @@ class FaultPlan:
     def should_raise(self, cell, attempt: int, index: Optional[int] = None) -> bool:
         return attempt <= self._times(self.raises, cell, index)
 
+    def should_exhaust(self, cell, attempt: int,
+                       index: Optional[int] = None) -> bool:
+        return attempt <= self._times(self.exhaust_memory, cell, index)
+
     # ------------------------------------------------------------------
     def apply_worker(self, cell, attempt: int, index: Optional[int] = None) -> None:
         """Fire any worker-side fault for ``(cell, attempt)``.
@@ -78,6 +95,8 @@ class FaultPlan:
             os._exit(17)  # hard death: no cleanup, no exception propagation
         if self.should_hang(cell, attempt, index):
             time.sleep(self.hang_seconds)
+        if self.should_exhaust(cell, attempt, index):
+            exhaust_address_space(chunk_bytes=self.exhaust_chunk_bytes)
         self.apply_serial(cell, attempt, index)
 
     def apply_serial(self, cell, attempt: int, index: Optional[int] = None) -> None:
@@ -85,6 +104,37 @@ class FaultPlan:
         if self.should_raise(cell, attempt, index):
             raise FaultInjectedError(
                 f"injected failure for cell {cell!r} (attempt {attempt})")
+
+
+def exhaust_address_space(*, chunk_bytes: int = 16 << 20) -> None:
+    """Deterministically run this process into ``MemoryError``.
+
+    With a finite ``RLIMIT_AS`` soft cap installed (the resource
+    governor's per-worker budget) this allocates real memory in
+    ``chunk_bytes`` steps until the kernel refuses — the exact failure an
+    over-budget cell produces — then frees everything and re-raises the
+    ``MemoryError``.  Without a cap the loop would threaten the whole
+    machine, so the fault raises directly instead; either way the caller
+    observes a clean ``MemoryError`` at a deterministic point.
+    """
+    try:
+        import resource
+        soft, _ = resource.getrlimit(resource.RLIMIT_AS)
+        capped = soft != resource.RLIM_INFINITY
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        capped = False
+    if not capped:
+        raise MemoryError(
+            "injected exhaust_memory fault (no RLIMIT_AS cap installed)")
+    hoard = []
+    try:
+        while True:
+            # touch the pages so the allocation is real, not lazy
+            hoard.append(bytearray(chunk_bytes))
+    except MemoryError:
+        del hoard
+        raise MemoryError(
+            "injected exhaust_memory fault (RLIMIT_AS cap reached)") from None
 
 
 def corrupt_file(path: str, *, mode: str = "truncate",

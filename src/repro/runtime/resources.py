@@ -1,0 +1,477 @@
+"""Resource governor: memory/disk budgets, OOM classification, degradation.
+
+A paper-scale sweep (LU200, MP3D10000, WATER288) can exceed physical
+memory: a whole-trace columnar cell or a wide ``--shards`` fan-out gets
+SIGKILLed by the kernel OOM killer, and a supervisor that only sees
+"worker died" retries the *same* oversized configuration until retries
+are exhausted.  This module makes the sweep engine admit, budget and
+degrade instead of crash-looping:
+
+* a calibrated **footprint model** (:func:`estimate_cell_bytes`) maps one
+  grid cell's columnar row count and per-(block, processor) state onto a
+  conservative byte estimate, used for **preflight admission**
+  (:func:`plan_admission`) — never launch more concurrent cells/shards
+  than the ``--memory-budget`` allows;
+* per-worker **soft caps** (:func:`apply_worker_rlimit`, built on
+  ``resource.setrlimit(RLIMIT_AS)``) turn an over-budget worker into a
+  clean :class:`MemoryError` that the worker harness converts into a
+  structured :class:`~repro.errors.ResourceExhaustedError` instead of a
+  mid-write SIGKILL;
+* **failure classification** (:func:`classify_exitcode`) separates
+  OOM-class deaths (SIGKILL / exit 137) from ordinary crashes so the
+  engine's **degradation ladder** (:func:`degradation_rungs`) can halve
+  worker concurrency, then shrink per-worker footprint by raising the
+  shard count, then fall back to serial in-process execution;
+* a **disk budget** (:func:`ensure_free_space`, :func:`dir_size_bytes`)
+  guards the trace cache and checkpoint directories.
+
+The model constants are deliberately *over*-estimates: admission must be
+an upper bound on real usage (checked against measured peak RSS in
+``tests/test_resources.py``), because under-admission merely leaves cores
+idle while over-admission re-invites the OOM killer.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import warnings
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigError, ResourceExhaustedError
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+#: Environment variable overriding the default memory budget (bytes or a
+#: size string like ``1.5G``); ``--memory-budget`` wins over it.
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET"
+
+_SIZE_SUFFIXES = {
+    "": 1, "B": 1,
+    "K": 1 << 10, "KB": 1 << 10, "KIB": 1 << 10,
+    "M": 1 << 20, "MB": 1 << 20, "MIB": 1 << 20,
+    "G": 1 << 30, "GB": 1 << 30, "GIB": 1 << 30,
+    "T": 1 << 40, "TB": 1 << 40, "TIB": 1 << 40,
+}
+
+
+def parse_size(text) -> int:
+    """Parse a human byte size (``"512M"``, ``"1.5G"``, ``"4096"``).
+
+    Suffixes are binary (K/M/G/T = KiB/MiB/GiB/TiB, case-insensitive,
+    optional trailing ``B``).  Integers pass through unchanged.
+    """
+    if isinstance(text, int):
+        return text
+    s = str(text).strip().upper().replace(" ", "")
+    digits = s
+    suffix = ""
+    for i, ch in enumerate(s):
+        if ch not in "0123456789.":
+            digits, suffix = s[:i], s[i:]
+            break
+    try:
+        value = float(digits)
+        scale = _SIZE_SUFFIXES[suffix]
+    except (ValueError, KeyError):
+        raise ConfigError(
+            f"cannot parse size {text!r} (use e.g. 512M, 1.5G, 4096)"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"size must be non-negative, got {text!r}")
+    return int(value * scale)
+
+
+def format_size(num_bytes: int) -> str:
+    """Render a byte count compactly (``"1.5G"``, ``"512.0M"``)."""
+    value = float(num_bytes)
+    for unit in ("B", "K", "M", "G", "T"):
+        if abs(value) < 1024 or unit == "T":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}T"  # pragma: no cover - unreachable
+
+
+# ----------------------------------------------------------------------
+# process / machine introspection
+# ----------------------------------------------------------------------
+def total_memory_bytes() -> Optional[int]:
+    """Physical memory of this machine in bytes (``None`` when unknown)."""
+    try:
+        page = os.sysconf("SC_PAGE_SIZE")
+        pages = os.sysconf("SC_PHYS_PAGES")
+        if page > 0 and pages > 0:
+            return page * pages
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        pass
+    return None  # pragma: no cover - non-POSIX
+
+
+def current_vm_bytes() -> Optional[int]:
+    """This process's current virtual address-space size (``None`` off-Linux).
+
+    Read from ``/proc/self/statm``; this is the baseline a forked worker
+    inherits, which an ``RLIMIT_AS`` cap must sit *above* — limiting the
+    absolute address space below what fork already mapped would kill the
+    worker on its first allocation.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[0])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError, AttributeError):
+        return None
+
+
+def apply_worker_rlimit(extra_bytes: Optional[int]) -> Optional[int]:
+    """Soft-cap this process's address space at *current + extra_bytes*.
+
+    Called inside a freshly forked worker: the limit is set relative to
+    the address space inherited from the parent (columnar arrays, numpy,
+    the interpreter), so ``extra_bytes`` budgets only the worker's *own*
+    growth.  Exceeding the cap raises a clean ``MemoryError`` at the
+    offending allocation instead of inviting the kernel OOM killer.
+
+    Returns the absolute soft limit that was installed, or ``None`` when
+    no cap could be applied (non-POSIX, unreadable statm, or a
+    pre-existing harder limit); failure to cap is never fatal — the
+    governor then relies on admission alone.
+    """
+    if resource is None or extra_bytes is None:
+        return None
+    base = current_vm_bytes()
+    if base is None:
+        return None
+    target = base + max(0, int(extra_bytes))
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            target = min(target, hard)
+        if soft != resource.RLIM_INFINITY:
+            target = min(target, soft)
+        resource.setrlimit(resource.RLIMIT_AS, (target, hard))
+    except (ValueError, OSError):  # pragma: no cover - EPERM etc.
+        return None
+    return target
+
+
+def peak_rss_bytes(who: str = "self") -> int:
+    """Peak resident set size in bytes (``who``: ``"self"``/``"children"``).
+
+    ``ru_maxrss`` is kilobytes on Linux; the benchmarks record this per
+    entry so ``BENCH_throughput.json`` carries a memory trajectory
+    alongside the events/s one.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    which = (resource.RUSAGE_CHILDREN if who == "children"
+             else resource.RUSAGE_SELF)
+    return resource.getrusage(which).ru_maxrss * 1024
+
+
+# ----------------------------------------------------------------------
+# footprint model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FootprintModel:
+    """Calibrated byte costs behind :func:`estimate_cell_bytes`.
+
+    The sweep's per-worker footprint is dominated by three terms:
+
+    * ``worker_base_bytes`` — interpreter + numpy + result objects that
+      every worker pays once regardless of trace size;
+    * ``bytes_per_event`` — per data row: the columnar int64 triple
+      (24 B), the decoded plain-int row lists fed to the streaming loops
+      (three boxed ints + list slots, ~110 B), and per-row derived
+      columns (block ids, offset bits, shard sub-trace copies);
+    * ``bytes_per_block_proc`` — per (block, processor) state pair:
+      presence/EM/FR flags, word-version dicts, invalidation buffers.
+      One data row touches at most one pair, so ``min(rows, pairs)`` is
+      bounded by the row count — the model charges every row once, which
+      over-counts (pairs repeat) but keeps the estimate an upper bound
+      without knowing the block size.
+
+    Constants are calibrated against measured peak RSS on the benchmark
+    traces (see ``tests/test_resources.py::TestFootprintModel``); they
+    err high on purpose — admission must never under-estimate.
+    """
+
+    worker_base_bytes: int = 48 << 20
+    bytes_per_event: int = 200
+    bytes_per_block_proc: int = 112
+
+    def cell_bytes(self, num_events: int, shards: int = 1) -> int:
+        """Estimated peak bytes of one cell (or one shard of it)."""
+        shards = max(1, shards)
+        rows = -(-max(0, num_events) // shards)  # ceil
+        return (self.worker_base_bytes
+                + rows * (self.bytes_per_event + self.bytes_per_block_proc))
+
+
+#: Model used when the caller does not supply one.
+DEFAULT_FOOTPRINT_MODEL = FootprintModel()
+
+
+def estimate_cell_bytes(trace, which: Optional[str] = None, shards: int = 1,
+                        *, model: Optional[FootprintModel] = None) -> int:
+    """Estimated peak bytes of running one grid cell over ``trace``.
+
+    ``trace`` may be a :class:`~repro.trace.trace.Trace` or a plain event
+    count.  ``which`` names the protocol/classifier (currently every cell
+    kind shares one conservative model — the per-(block, proc) state term
+    dominates identically); ``shards > 1`` divides the per-row terms,
+    which is exactly why the degradation ladder raises the shard count to
+    shrink per-worker footprint.
+    """
+    model = model or DEFAULT_FOOTPRINT_MODEL
+    num_events = trace if isinstance(trace, int) else len(trace)
+    return model.cell_bytes(num_events, shards)
+
+
+# ----------------------------------------------------------------------
+# preflight admission
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Admission:
+    """Outcome of preflight admission under a memory budget.
+
+    ``jobs``/``shards`` are the admitted concurrency and shard count;
+    ``worker_cap_bytes`` is the per-worker address-space growth cap to
+    install via :func:`apply_worker_rlimit` (``None`` when no budget);
+    ``over_budget`` flags that even one serial worker exceeds the budget
+    (the sweep still runs, serially and uncapped, with a warning — a
+    budget is a scheduling input, not a correctness gate).
+    """
+
+    jobs: int
+    shards: int
+    worker_cap_bytes: Optional[int]
+    over_budget: bool = False
+
+    def describe(self) -> str:
+        cap = (format_size(self.worker_cap_bytes)
+               if self.worker_cap_bytes else "none")
+        return (f"jobs={self.jobs} shards={self.shards} "
+                f"worker_cap={cap}"
+                + (" (over budget: serial, uncapped)"
+                   if self.over_budget else ""))
+
+
+def plan_admission(budget_bytes: int, jobs: int, shards: int,
+                   estimate: Callable[[int], int], *,
+                   shardable: bool = True,
+                   max_shards: int = 64) -> Admission:
+    """Fit ``jobs`` concurrent workers under ``budget_bytes``.
+
+    ``estimate(s)`` is the per-worker footprint at shard count ``s``
+    (typically :func:`estimate_cell_bytes` curried over the trace).  The
+    policy mirrors the degradation ladder, applied *before* launch:
+
+    1. if one worker at the requested shard count fits, admit
+       ``min(jobs, budget // per_worker)`` workers (at least one);
+    2. else, while the cells are shardable, double the shard count —
+       smaller per-shard footprint — until one worker fits (capped at
+       ``max_shards``);
+    3. else run serial and uncapped, flagged ``over_budget``.
+
+    The per-worker cap is the budget's fair share (``budget / jobs``),
+    never below the estimate itself, so a worker that behaves per the
+    model is never killed by its own rlimit.
+    """
+    if budget_bytes <= 0:
+        raise ConfigError(
+            f"memory budget must be positive, got {budget_bytes}")
+    shards = max(1, shards)
+    per_worker = estimate(shards)
+    while per_worker > budget_bytes and shardable and shards < max_shards:
+        shards = min(max_shards, shards * 2)
+        per_worker = estimate(shards)
+    if per_worker > budget_bytes:
+        return Admission(jobs=1, shards=max(1, shards), worker_cap_bytes=None,
+                         over_budget=True)
+    admitted = max(1, min(jobs, budget_bytes // per_worker))
+    cap = max(per_worker, budget_bytes // admitted)
+    return Admission(jobs=int(admitted), shards=shards,
+                     worker_cap_bytes=int(cap))
+
+
+def resolve_memory_budget(explicit: Optional[int] = None) -> Optional[int]:
+    """The effective memory budget: explicit value, else the environment.
+
+    ``$REPRO_MEMORY_BUDGET`` lets CI and batch harnesses impose a budget
+    without touching every command line.  ``None`` means ungoverned.
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(MEMORY_BUDGET_ENV)
+    if env:
+        return parse_size(env)
+    return None
+
+
+# ----------------------------------------------------------------------
+# failure classification
+# ----------------------------------------------------------------------
+#: Signals whose delivery usually means the kernel (or an operator)
+#: reclaimed memory: the OOM killer sends SIGKILL, full cgroups likewise.
+_OOM_SIGNALS = frozenset({signal.SIGKILL} if hasattr(signal, "SIGKILL")
+                         else set())
+
+
+def _signal_name(signum: int) -> str:
+    try:
+        return signal.Signals(signum).name
+    except ValueError:
+        return f"signal {signum}"
+
+
+def classify_exitcode(exitcode: Optional[int]) -> Tuple[str, str]:
+    """Classify a dead worker's exit status: ``(kind, description)``.
+
+    ``kind`` is one of:
+
+    * ``"oom"`` — killed by SIGKILL (negative exitcode from
+      ``multiprocessing``, or the shell-style ``128 + signum`` form,
+      e.g. 137): on a healthy run the only SIGKILL sender is the kernel
+      OOM killer, so the degradation ladder treats it as an
+      out-of-memory death;
+    * ``"crash"`` — any other signal (SIGSEGV, SIGABRT, ...) or a
+      nonzero exit: a genuine bug, retried under the normal policy;
+    * ``"exit"`` — exit status 0 with work outstanding (a worker that
+      vanished cleanly mid-task, e.g. a stray ``sys.exit``).
+
+    The description always spells out the signal by name
+    (``signal.Signals(-exitcode).name``) so ``CellFailedError`` attempt
+    histories say ``SIGKILL``, not ``exitcode -9``.
+    """
+    if exitcode is None:
+        return "crash", "worker died (exit status unknown)"
+    if exitcode < 0:
+        name = _signal_name(-exitcode)
+        if -exitcode in {int(s) for s in _OOM_SIGNALS}:
+            return "oom", (f"worker killed by {name} (exitcode {exitcode}): "
+                           f"likely the kernel OOM killer")
+        return "crash", f"worker killed by {name} (exitcode {exitcode})"
+    if exitcode > 128:
+        name = _signal_name(exitcode - 128)
+        if exitcode - 128 in {int(s) for s in _OOM_SIGNALS}:
+            return "oom", (f"worker killed by {name} (exitcode {exitcode}): "
+                           f"likely the kernel OOM killer")
+        return "crash", f"worker killed by {name} (exitcode {exitcode})"
+    if exitcode == 0:
+        return "exit", "worker exited cleanly with work outstanding"
+    return "crash", f"worker died (exitcode {exitcode})"
+
+
+# ----------------------------------------------------------------------
+# degradation ladder
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Rung:
+    """One step of the graceful-degradation ladder."""
+
+    jobs: int
+    #: Shard override for this rung (``None``: keep the engine's setting).
+    shards: Optional[int]
+    #: Serial in-process execution (no pool, no rlimit) — the last rung.
+    serial: bool
+    label: str
+
+
+def degradation_rungs(jobs: int, shards: Optional[int]) -> List[Rung]:
+    """The ladder of configurations tried after OOM-class failures.
+
+    Rather than blind same-config retry, each OOM-class failure moves the
+    sweep one rung down; every rung reuses completed (journaled) results,
+    so only the incomplete cells pay the re-plan:
+
+    1. the configured ``(jobs, shards)``;
+    2. **halved worker concurrency** — fewer concurrent footprints;
+    3. **doubled shard count** at the halved concurrency — smaller
+       per-shard footprint, merged over the bit-identical shard path;
+    4. **serial in-process** — one cell at a time in the parent, no pool
+       and no rlimit: the configuration every machine can run.
+
+    Rungs that would repeat the previous configuration are skipped (a
+    ``jobs=1`` engine goes straight to serial).
+    """
+    rungs: List[Rung] = [Rung(jobs, shards, serial=False, label="configured")]
+    half = max(1, jobs // 2)
+    if half < jobs and half > 1:
+        rungs.append(Rung(half, shards, serial=False,
+                          label=f"halved workers ({jobs} -> {half})"))
+    if half > 1:
+        base = shards if shards and shards > 1 else 1
+        doubled = max(2, base * 2)
+        rungs.append(Rung(half, doubled, serial=False,
+                          label=f"raised shard count to {doubled}"))
+    rungs.append(Rung(1, 1, serial=True, label="serial in-process"))
+    return rungs
+
+
+# ----------------------------------------------------------------------
+# disk budget
+# ----------------------------------------------------------------------
+def disk_free_bytes(path: str) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path`` (``None``: unknown)."""
+    probe = path
+    while probe and not os.path.exists(probe):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    try:
+        return shutil.disk_usage(probe or ".").free
+    except OSError:  # pragma: no cover - vanished mount
+        return None
+
+
+def ensure_free_space(path: str, needed_bytes: int, *,
+                      label: str = "write") -> None:
+    """Free-space preflight: raise before filling the disk, not after.
+
+    Raises :class:`~repro.errors.ResourceExhaustedError` (``kind="disk"``)
+    when the filesystem holding ``path`` has less than ``needed_bytes``
+    free.  A failed write would corrupt or half-write an entry; failing
+    *before* the write keeps the cache/journal consistent.
+    """
+    free = disk_free_bytes(path)
+    if free is not None and free < needed_bytes:
+        raise ResourceExhaustedError(
+            f"not enough disk space for {label} under {path!r}: "
+            f"{format_size(needed_bytes)} needed, "
+            f"{format_size(free)} free",
+            kind="disk", limit_bytes=free, needed_bytes=needed_bytes)
+
+
+def dir_size_bytes(directory: str, suffixes: Tuple[str, ...] = ()) -> int:
+    """Total size of the files directly under ``directory``.
+
+    ``suffixes`` filters by file ending (empty: every regular file).
+    Entries that vanish mid-scan (concurrent eviction) are skipped.
+    """
+    total = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    for name in names:
+        if suffixes and not name.endswith(suffixes):
+            continue
+        try:
+            total += os.path.getsize(os.path.join(directory, name))
+        except OSError:
+            continue
+    return total
+
+
+def warn_resource(message: str) -> None:
+    """Uniform, greppable resource-governor warning."""
+    warnings.warn(f"[resource-governor] {message}", stacklevel=3)

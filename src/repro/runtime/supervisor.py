@@ -22,6 +22,18 @@ with per-cell task tracking:
   :class:`~repro.errors.CellFailedError`, carrying the cell, its attempt
   history and the partial results of every completed cell.
 
+The supervisor is also the enforcement point of the resource governor
+(:mod:`repro.runtime.resources`): workers soft-cap their own address
+space via ``RLIMIT_AS`` (``worker_rlimit_bytes``) so an over-budget cell
+raises a clean ``MemoryError`` instead of being SIGKILLed mid-write, and
+every failure is *classified* — a worker-reported ``MemoryError`` and a
+SIGKILL/137 death are OOM-class, a nonzero exit or other signal is
+crash-class, a timeout is hang-class.  With ``oom_action="raise"`` an
+OOM-class failure aborts immediately with a structured
+:class:`~repro.errors.ResourceExhaustedError` (attempt history plus all
+partial results) so the sweep engine's degradation ladder can re-plan the
+run instead of blindly retrying the same oversized configuration.
+
 Workers inherit their runner (and any fault plan) through module globals
 at fork time, so nothing is pickled — the same zero-copy trick the old
 pool used.
@@ -37,23 +49,41 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..errors import CellFailedError
+from ..errors import CellFailedError, ResourceExhaustedError
 from .faults import FaultPlan
+from .resources import apply_worker_rlimit, classify_exitcode
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 # Fork-inherited worker state (set in the parent just before spawning).
 _WORKER_RUNNER: Optional[Callable[[Any], Any]] = None
 _WORKER_FAULTS: Optional[FaultPlan] = None
+_WORKER_RLIMIT: Optional[int] = None
+
+
+def _failure_payload(exc: BaseException) -> dict:
+    """Structured failure reply: traceback text plus a failure class."""
+    kind = "error"
+    if isinstance(exc, MemoryError):
+        kind = "oom"
+    elif isinstance(exc, ResourceExhaustedError):
+        kind = "oom" if exc.kind == "memory" else "error"
+    return {"error": traceback.format_exc(limit=20), "kind": kind}
 
 
 def _worker_main(conn) -> None:
     """Worker loop: receive ``("run", idx, task, attempt)``, send results.
 
-    Replies ``(idx, True, result)`` or ``(idx, False, error_string)``; a
-    ``("stop",)`` message (or a closed pipe) ends the loop.
+    Replies ``(idx, True, result)`` or ``(idx, False, {"error", "kind"})``;
+    a ``("stop",)`` message (or a closed pipe) ends the loop.  When the
+    parent configured ``worker_rlimit_bytes``, the worker soft-caps its
+    address space *relative to what fork inherited* before serving tasks,
+    so an over-budget cell dies as a classified ``MemoryError`` reply,
+    never as a kernel SIGKILL.
     """
     runner = _WORKER_RUNNER
     faults = _WORKER_FAULTS
+    if _WORKER_RLIMIT is not None:
+        apply_worker_rlimit(_WORKER_RLIMIT)
     while True:
         try:
             msg = conn.recv()
@@ -67,8 +97,8 @@ def _worker_main(conn) -> None:
                 faults.apply_worker(task, attempt, idx)
             result = runner(task)
             reply = (idx, True, result)
-        except BaseException:
-            reply = (idx, False, traceback.format_exc(limit=20))
+        except BaseException as exc:
+            reply = (idx, False, _failure_payload(exc))
         try:
             conn.send(reply)
         except Exception:
@@ -76,7 +106,8 @@ def _worker_main(conn) -> None:
             # sendable failure so the supervisor can retry the cell.
             try:
                 conn.send((idx, False,
-                           f"worker could not send result for task {idx}"))
+                           {"error": "worker could not send result for "
+                                     f"task {idx}", "kind": "error"}))
             except Exception:
                 return
 
@@ -150,6 +181,18 @@ class Supervisor:
         killed and its task rescheduled.  ``None`` disables the timeout.
     fault_plan:
         Optional deterministic :class:`FaultPlan` (tests only).
+    worker_rlimit_bytes:
+        Per-worker address-space *growth* cap in bytes (above the
+        fork-inherited baseline), installed in each worker via
+        ``resource.setrlimit(RLIMIT_AS)``.  ``None`` leaves workers
+        uncapped.
+    oom_action:
+        What an OOM-class failure (worker ``MemoryError`` reply, or a
+        SIGKILL/137 death) does: ``"retry"`` (default) treats it like
+        any other failure; ``"raise"`` aborts the pool immediately with
+        :class:`~repro.errors.ResourceExhaustedError` carrying the task,
+        attempt history and all partial results — the hook the sweep
+        engine's degradation ladder hangs off.
     """
 
     #: Upper bound on one event-loop wait (keeps deadline checks timely).
@@ -158,12 +201,19 @@ class Supervisor:
     def __init__(self, runner: Callable[[Any], Any], *, jobs: int = 1,
                  retry: Optional[RetryPolicy] = None,
                  timeout: Optional[float] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 worker_rlimit_bytes: Optional[int] = None,
+                 oom_action: str = "retry"):
+        if oom_action not in ("retry", "raise"):
+            raise ValueError(f"oom_action must be 'retry' or 'raise', "
+                             f"got {oom_action!r}")
         self.runner = runner
         self.jobs = max(1, jobs)
         self.retry = retry or DEFAULT_RETRY_POLICY
         self.timeout = timeout
         self.fault_plan = fault_plan
+        self.worker_rlimit_bytes = worker_rlimit_bytes
+        self.oom_action = oom_action
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Any], *,
@@ -214,10 +264,12 @@ class Supervisor:
                     self.fault_plan.apply_serial(att.task, att.attempts,
                                                  att.idx)
                 return self.runner(att.task)
-            except Exception:
+            except Exception as exc:
                 att.history.append({"attempt": att.attempts,
                                     "where": "serial",
-                                    "error": traceback.format_exc(limit=20)})
+                                    "error": traceback.format_exc(limit=20),
+                                    "kind": ("oom" if isinstance(exc,
+                                             MemoryError) else "error")})
                 if att.attempts < self.retry.max_attempts:
                     time.sleep(self.retry.delay(att.attempts))
         raise CellFailedError("retries exhausted", cell=att.task,
@@ -227,10 +279,11 @@ class Supervisor:
     # supervised pool execution
     # ------------------------------------------------------------------
     def _run_pool(self, todo, results, on_result, tasks) -> None:
-        global _WORKER_RUNNER, _WORKER_FAULTS
+        global _WORKER_RUNNER, _WORKER_FAULTS, _WORKER_RLIMIT
         ctx = multiprocessing.get_context("fork")
         _WORKER_RUNNER = self.runner
         _WORKER_FAULTS = self.fault_plan
+        _WORKER_RLIMIT = self.worker_rlimit_bytes
         workers: List[_Worker] = []
         wid = itertools.count()
         pending = deque(todo)
@@ -263,7 +316,7 @@ class Supervisor:
                 for w in list(busy):
                     finished = self._service_worker(
                         w, ready_set, workers, pending, fallback,
-                        results, on_result, ctx, wid)
+                        results, on_result, ctx, wid, todo)
                     outstanding -= finished
                 self._reap_timeouts(workers, pending, fallback, ctx, wid)
         finally:
@@ -271,6 +324,7 @@ class Supervisor:
                 w.stop(kill=True)
             _WORKER_RUNNER = None
             _WORKER_FAULTS = None
+            _WORKER_RLIMIT = None
         # Degraded path: cells that repeatedly failed in workers get one
         # last serial in-process attempt each.
         for att in fallback:
@@ -281,8 +335,10 @@ class Supervisor:
                     self.fault_plan.apply_serial(att.task, att.attempts + 1,
                                                  att.idx)
                 results[att.idx] = self.runner(att.task)
-            except Exception:
+            except Exception as exc:
                 att.history[-1]["error"] = traceback.format_exc(limit=20)
+                att.history[-1]["kind"] = ("oom" if isinstance(exc,
+                                           MemoryError) else "error")
                 raise self._failure(att, results, todo) from None
             if on_result is not None:
                 on_result(att.task, results[att.idx])
@@ -311,7 +367,7 @@ class Supervisor:
         return timeout
 
     def _service_worker(self, w, ready_set, workers, pending, fallback,
-                        results, on_result, ctx, wid) -> int:
+                        results, on_result, ctx, wid, todo) -> int:
         """Handle one worker's result or death; returns cells finished."""
         if w.conn in ready_set:
             try:
@@ -325,25 +381,52 @@ class Supervisor:
                     if on_result is not None:
                         on_result(att.task, payload)
                     return 1
+                if not isinstance(payload, dict):  # legacy string reply
+                    payload = {"error": str(payload), "kind": "error"}
                 att.history.append({"attempt": att.attempts,
-                                    "where": "worker", "error": payload})
+                                    "where": "worker",
+                                    "error": payload["error"],
+                                    "kind": payload.get("kind", "error")})
+                self._maybe_raise_oom(att, results, todo)
                 return self._reschedule(att, pending, fallback)
         if not w.process.is_alive() or w.process.sentinel in ready_set:
             if w.process.is_alive():  # pragma: no cover - sentinel race
                 return 0
             att, w.current = w.current, None
             exitcode = w.process.exitcode
+            kind, description = classify_exitcode(exitcode)
             w.stop(kill=True)
             workers.remove(w)
             if att is not None:
                 att.history.append({
                     "attempt": att.attempts, "where": "worker",
-                    "error": f"worker died (exitcode {exitcode})"})
+                    "error": description, "kind": kind})
+                self._maybe_raise_oom(att, results, todo)
                 self._reschedule(att, pending, fallback)
             if pending and len(workers) < self.jobs:
                 # Replace the dead worker while cells remain.
                 workers.append(_Worker(ctx, next(wid)))
         return 0
+
+    def _maybe_raise_oom(self, att, results, todo) -> None:
+        """Abort the pool on an OOM-class failure when so configured.
+
+        Raising here (instead of rescheduling) is what prevents the
+        crash-loop: re-running the same oversized task can only summon
+        the OOM killer again; the caller must re-plan (fewer workers,
+        more shards, or serial) and gets the partial results to resume
+        from.
+        """
+        if self.oom_action != "raise" or att.history[-1].get("kind") != "oom":
+            return
+        partial = {a.task: results[a.idx] for a in todo if a.idx in results}
+        detail = ((att.history[-1]["error"] or "").strip().splitlines()
+                  or ["out of memory"])[-1]
+        raise ResourceExhaustedError(
+            f"task {att.task!r} exhausted memory on attempt "
+            f"{att.attempts} ({detail})",
+            kind="memory", cell=att.task, attempts=att.history,
+            partial=partial)
 
     def _reap_timeouts(self, workers, pending, fallback, ctx, wid) -> None:
         if self.timeout is None:
@@ -354,7 +437,8 @@ class Supervisor:
                 continue
             att, w.current = w.current, None
             att.history.append({"attempt": att.attempts, "where": "worker",
-                                "error": f"timed out after {self.timeout}s"})
+                                "error": f"timed out after {self.timeout}s",
+                                "kind": "hang"})
             w.stop(kill=True)
             workers.remove(w)
             workers.append(_Worker(ctx, next(wid)))

@@ -19,6 +19,16 @@ The cache is hardened against the failure modes of long production runs:
 * **Inter-process locking** — generation takes a per-entry lock file, so
   N concurrent sweeps over the same workload generate its trace once
   instead of stampeding.
+* **Disk budget** — a free-space preflight refuses to start a write the
+  filesystem cannot hold (raising a structured
+  :class:`~repro.errors.ResourceExhaustedError` instead of half-writing
+  an entry), and an optional ``max_bytes`` quota (``--cache-max-bytes``)
+  evicts least-recently-used entries under an inter-process lock so the
+  cache directory never outgrows its budget.
+* **Quarantine GC** — quarantined corrupt entries (``*.corrupt``) are
+  garbage-collected on cache open, keeping only the newest per key for
+  post-mortem, so repeated corruption (or version churn) cannot
+  accumulate unbounded evidence files.
 
 Used by the sweep engine (:mod:`repro.analysis.engine`), the CLI
 (``--trace-cache``), ``benchmarks/conftest.py`` and
@@ -31,8 +41,9 @@ import contextlib
 import hashlib
 import json
 import os
+import re
 import warnings
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import TraceFormatError
 from .io import load_npz, save_npz
@@ -45,6 +56,17 @@ except ImportError:  # pragma: no cover - non-POSIX
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_TRACE_CACHE"
+
+#: Rough on-disk bytes per trace event, used for the free-space preflight
+#: before writing a new entry.  Deliberately generous: an ``.npz`` entry
+#: stores five integer columns plus metadata, compressing well below this.
+BYTES_PER_EVENT_ON_DISK = 24
+
+#: Fixed headroom added to every entry-size estimate (archive framing,
+#: metadata, temp-file sibling during the atomic rename).
+ENTRY_SLACK_BYTES = 256 << 10
+
+_CORRUPT_RE = re.compile(r"^(?P<key>.+\.npz)\.corrupt(?:\.\d+)?$")
 
 
 def default_cache_dir() -> str:
@@ -100,6 +122,46 @@ def entry_lock(path: str):
         os.close(fd)
 
 
+def gc_quarantined(directory: str) -> int:
+    """Garbage-collect quarantined entries, keeping the newest per key.
+
+    Quarantine preserves a corrupt entry for post-mortem, but an unlucky
+    cache (bad disk, repeated kills mid-write) would otherwise accumulate
+    one ``.corrupt`` file per incident forever.  For each cache key the
+    newest quarantined file is kept as evidence and all older ones are
+    deleted.  Returns the number of files removed.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    by_key: Dict[str, List[str]] = {}
+    for name in names:
+        m = _CORRUPT_RE.match(name)
+        if m:
+            by_key.setdefault(m.group("key"), []).append(name)
+    removed = 0
+    for key, files in by_key.items():
+        if len(files) < 2:
+            continue
+        paths = [os.path.join(directory, f) for f in files]
+
+        def _mtime(p: str) -> float:
+            try:
+                return os.path.getmtime(p)
+            except OSError:
+                return float("-inf")
+
+        paths.sort(key=lambda p: (_mtime(p), p))
+        for stale in paths[:-1]:
+            try:
+                os.remove(stale)
+                removed += 1
+            except OSError:  # pragma: no cover - racing GC in another proc
+                pass
+    return removed
+
+
 class WorkloadTraceCache:
     """Generate-once cache of workload traces.
 
@@ -112,12 +174,27 @@ class WorkloadTraceCache:
         Keep loaded traces in an in-process dictionary as well, so repeated
         ``get`` calls within one process return the same object without
         touching disk.
+    max_bytes:
+        Optional disk quota for the cache directory (``--cache-max-bytes``
+        on the CLI).  After each write, least-recently-used entries are
+        evicted under an inter-process lock until the directory fits the
+        quota again; recency is the entry's mtime, which ``get`` bumps on
+        every disk hit.
     """
 
     def __init__(self, directory: Optional[str] = None, *,
-                 memory: bool = True):
+                 memory: bool = True, max_bytes: Optional[int] = None):
+        if max_bytes is not None and max_bytes <= 0:
+            from ..errors import ConfigError
+            raise ConfigError(
+                f"cache max_bytes must be positive, got {max_bytes}")
         self.directory = directory or default_cache_dir()
+        self.max_bytes = max_bytes
         self._memory: Optional[Dict[str, Trace]] = {} if memory else None
+        # Opening the cache adopts responsibility for its hygiene: drop
+        # all but the newest quarantined file per key (satellite of the
+        # corruption hardening — evidence is bounded, not unbounded).
+        gc_quarantined(self.directory)
 
     # ------------------------------------------------------------------
     def _resolve(self, workload: Union[str, object]):
@@ -143,8 +220,18 @@ class WorkloadTraceCache:
             return None
 
     def _quarantine(self, path: str, exc: Exception) -> None:
-        """Move a corrupt entry aside so the evidence survives regeneration."""
+        """Move a corrupt entry aside so the evidence survives regeneration.
+
+        The quarantine name is unique (``.corrupt``, ``.corrupt.1``, …) so
+        a repeat corruption of the same key never overwrites the earlier
+        evidence; :func:`gc_quarantined` keeps only the newest on the next
+        cache open.
+        """
         quarantined = f"{path}.corrupt"
+        n = 0
+        while os.path.exists(quarantined):
+            n += 1
+            quarantined = f"{path}.corrupt.{n}"
         try:
             os.replace(path, quarantined)
         except OSError:  # pragma: no cover - entry vanished underneath us
@@ -174,10 +261,96 @@ class WorkloadTraceCache:
                 trace = self._load_entry(path)
                 if trace is None:
                     trace = wl.generate()
+                    self._preflight_write(trace)
                     save_npz(trace, path)
+            self._enforce_quota(protect=path)
+        else:
+            self._touch(path)
         if self._memory is not None:
             self._memory[key] = trace
         return trace
+
+    # ------------------------------------------------------------------
+    # disk budget
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Bump an entry's mtime: our LRU clock for quota eviction."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - evicted by a concurrent proc
+            pass
+
+    def _preflight_write(self, trace: Trace) -> None:
+        """Refuse to start a write the filesystem cannot hold."""
+        from ..runtime.resources import ensure_free_space
+
+        needed = BYTES_PER_EVENT_ON_DISK * len(trace) + ENTRY_SLACK_BYTES
+        ensure_free_space(self.directory, needed, label="trace cache")
+
+    def _scan_entries(self) -> List[Tuple[str, int, float]]:
+        """Quota-relevant files as ``(path, size, mtime)``, oldest first.
+
+        Counts entries and quarantined evidence; lock files are excluded
+        (they are empty and must stay for waiters holding them open).
+        """
+        entries: List[Tuple[str, int, float]] = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return entries
+        for name in names:
+            if not (name.endswith(".npz") or _CORRUPT_RE.match(name)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, st.st_size, st.st_mtime))
+        entries.sort(key=lambda e: (e[2], e[0]))
+        return entries
+
+    def _enforce_quota(self, protect: Optional[str] = None) -> int:
+        """Evict LRU entries until the directory fits ``max_bytes``.
+
+        Runs under a cache-wide inter-process lock so two processes never
+        double-count or race deletions.  ``protect`` (the entry just
+        written) is never evicted — the caller is about to use it.
+        Returns the number of files evicted.
+        """
+        if self.max_bytes is None:
+            return 0
+        evicted = 0
+        with entry_lock(os.path.join(self.directory, ".gc")):
+            entries = self._scan_entries()
+            total = sum(size for _, size, _ in entries)
+            for path, size, _ in entries:
+                if total <= self.max_bytes:
+                    break
+                if (protect is not None
+                        and os.path.abspath(path) == os.path.abspath(protect)):
+                    continue
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - concurrent eviction
+                    continue
+                # The lock file of an evicted entry is dead weight now; a
+                # concurrent generator re-creates it on demand.
+                with contextlib.suppress(OSError):
+                    os.remove(f"{path}.lock")
+                total -= size
+                evicted += 1
+            if total > self.max_bytes:
+                warnings.warn(
+                    f"trace cache still {total} bytes after eviction "
+                    f"(quota {self.max_bytes}): the in-use entry alone "
+                    "exceeds the quota", stacklevel=3)
+        return evicted
+
+    def disk_usage_bytes(self) -> int:
+        """Current quota-relevant size of the cache directory."""
+        return sum(size for _, size, _ in self._scan_entries())
 
     def clear_memory(self) -> None:
         """Drop the in-process cache (disk entries are kept)."""

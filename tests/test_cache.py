@@ -196,3 +196,127 @@ class TestConcurrency:
     def test_lock_file_left_in_place(self, cache, workload):
         cache.get(workload)
         assert os.path.exists(cache.path_for(workload) + ".lock")
+
+
+# ----------------------------------------------------------------------
+# disk budget: LRU quota eviction + quarantine GC
+# ----------------------------------------------------------------------
+class _TaggedWorkload:
+    """Distinct cache keys over identical (tiny) trace content."""
+
+    name = "tagged"
+
+    def __init__(self, tag):
+        self.label = f"tagged{tag}"
+        self.seed = tag
+
+    def describe_config(self):
+        return {"tag": self.seed}
+
+    def generate(self):
+        return make_workload("MATMUL24").generate()
+
+
+class TestDiskBudget:
+    def _entry_bytes(self, tmp_path):
+        probe = WorkloadTraceCache(str(tmp_path / "probe"), memory=False)
+        probe.get(_TaggedWorkload(0))
+        return os.path.getsize(probe.path_for(_TaggedWorkload(0)))
+
+    def test_quota_never_exceeded_after_eviction(self, tmp_path):
+        """Acceptance: with a quota set, every write ends under it."""
+        entry = self._entry_bytes(tmp_path)
+        quota = int(2.5 * entry)
+        cache = WorkloadTraceCache(str(tmp_path / "c"), memory=False,
+                                   max_bytes=quota)
+        for tag in range(5):
+            cache.get(_TaggedWorkload(tag))
+            assert cache.disk_usage_bytes() <= quota
+        # The freshest entry always survives its own write.
+        assert os.path.exists(cache.path_for(_TaggedWorkload(4)))
+
+    def test_eviction_is_least_recently_used(self, tmp_path):
+        entry = self._entry_bytes(tmp_path)
+        cache = WorkloadTraceCache(str(tmp_path / "c"), memory=False,
+                                   max_bytes=int(2.5 * entry))
+        a, b = _TaggedWorkload(1), _TaggedWorkload(2)
+        cache.get(a)
+        cache.get(b)
+        # Make b the stale entry regardless of write timing granularity.
+        os.utime(cache.path_for(b), (1, 1))
+        cache.get(_TaggedWorkload(3))  # pushes the cache over quota
+        assert os.path.exists(cache.path_for(a))
+        assert not os.path.exists(cache.path_for(b)), "LRU entry evicted"
+        assert not os.path.exists(cache.path_for(b) + ".lock"), \
+            "the evicted entry's lock file goes with it"
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        entry = self._entry_bytes(tmp_path)
+        cache = WorkloadTraceCache(str(tmp_path / "c"), memory=False,
+                                   max_bytes=int(2.5 * entry))
+        a, b = _TaggedWorkload(1), _TaggedWorkload(2)
+        cache.get(a)
+        cache.get(b)
+        os.utime(cache.path_for(a), (1, 1))  # a is ancient...
+        cache.get(a)                         # ...until this disk hit
+        os.utime(cache.path_for(b), (2, 2))
+        cache.get(_TaggedWorkload(3))
+        assert os.path.exists(cache.path_for(a)), "recently read, kept"
+        assert not os.path.exists(cache.path_for(b))
+
+    def test_single_oversized_entry_warns_but_survives(self, tmp_path):
+        cache = WorkloadTraceCache(str(tmp_path / "c"), memory=False,
+                                   max_bytes=64)
+        wl = _TaggedWorkload(1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trace = cache.get(wl)
+        assert isinstance(trace, Trace)
+        assert os.path.exists(cache.path_for(wl))
+        assert any("exceeds the quota" in str(w.message) for w in caught)
+
+    def test_rejects_nonpositive_quota(self, tmp_path):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            WorkloadTraceCache(str(tmp_path), max_bytes=0)
+
+
+class TestQuarantineGC:
+    def test_repeat_corruption_gets_unique_quarantine_names(self, cache,
+                                                            workload):
+        path = cache.path_for(workload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            cache.get(workload)
+            corrupt_file(path, mode="truncate")
+            cache.get(workload)
+            corrupt_file(path, mode="truncate")
+            cache.get(workload)
+        assert os.path.exists(path + ".corrupt")
+        assert os.path.exists(path + ".corrupt.1")
+
+    def test_open_keeps_only_newest_quarantined_per_key(self, tmp_path):
+        base = str(tmp_path / "entry.npz")
+        for i, name in enumerate([base + ".corrupt", base + ".corrupt.1",
+                                  base + ".corrupt.2"]):
+            with open(name, "w") as fh:
+                fh.write("evidence")
+            os.utime(name, (100 + i, 100 + i))
+        other = str(tmp_path / "other.npz.corrupt")
+        with open(other, "w") as fh:
+            fh.write("evidence")
+        WorkloadTraceCache(str(tmp_path), memory=False)  # GC runs on open
+        assert sorted(os.listdir(str(tmp_path))) == [
+            "entry.npz.corrupt.2", "other.npz.corrupt"]
+
+    def test_gc_returns_removed_count(self, tmp_path):
+        from repro.trace.cache import gc_quarantined
+        base = str(tmp_path / "entry.npz")
+        for i in range(3):
+            name = base + (".corrupt" if i == 0 else f".corrupt.{i}")
+            with open(name, "w") as fh:
+                fh.write("x")
+            os.utime(name, (100 + i, 100 + i))
+        assert gc_quarantined(str(tmp_path)) == 2
+        assert gc_quarantined(str(tmp_path)) == 0
+        assert gc_quarantined(str(tmp_path / "missing")) == 0
