@@ -71,6 +71,62 @@ def test_workload_generation_throughput(benchmark, bench_json):
                events_per_sec=int(len(trace) / benchmark.stats.stats.mean))
 
 
+def test_telemetry_overhead_under_3_percent(benchmark, bench_json, mp3d200,
+                                            tmp_path_factory):
+    """Telemetry gate: recording a run costs < 3 % end to end.
+
+    Both legs run the same serial Fig.5-style classification sweep; the
+    recorded leg adds a full :class:`~repro.obs.RunTelemetry` (per-cell
+    spans, metrics, the manifest fold and the events.jsonl writes).  The
+    budget holds because instrumentation is per *cell*, not per event —
+    a sweep emits tens of records while classifying millions of
+    references — and because telemetry-off call sites hit the no-op
+    :data:`~repro.obs.NULL_RECORDER`.
+
+    Methodology: the legs run as *interleaved off/on pairs* and the
+    overhead is the **minimum pairwise on/off ratio**.  A real
+    instrumentation cost inflates every pair, so it lower-bounds the
+    minimum; transient machine load (CI boxes, the 1-core container)
+    only spikes individual samples and cancels out — a plain
+    min-per-leg comparison flaps by 10 %+ on a loaded host.
+    """
+    sizes = PAPER_BLOCK_SIZES
+    tel = str(tmp_path_factory.mktemp("telemetry"))
+
+    def sweep(telemetry_dir=None):
+        return SweepEngine(mp3d200,
+                           telemetry_dir=telemetry_dir).classify_sweep(sizes)
+
+    sweep()  # warm page cache / allocator outside the timed region
+    t_off = t_on = 1e9
+    ratios = []
+    for _ in range(6):
+        t0 = time.perf_counter()
+        sweep()
+        off = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sweep(tel)
+        on = time.perf_counter() - t0
+        ratios.append(on / off)
+        t_off, t_on = min(t_off, off), min(t_on, on)
+
+    result = benchmark.pedantic(lambda: sweep(tel), rounds=1, iterations=1)
+    assert result.breakdowns[0].total > 0
+    overhead = min(ratios) - 1.0
+    median = sorted(ratios)[len(ratios) // 2] - 1.0
+    benchmark.extra_info["telemetry_off_sec"] = round(t_off, 4)
+    benchmark.extra_info["telemetry_on_sec"] = round(t_on, 4)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    bench_json("telemetry/overhead/MP3D200/fig5-sweep", mode="serial",
+               events=len(mp3d200) * len(sizes),
+               telemetry_off_sec=round(t_off, 4),
+               telemetry_on_sec=round(t_on, 4),
+               overhead_pct=round(overhead * 100, 2),
+               median_overhead_pct=round(median * 100, 2))
+    assert overhead < 0.03, (
+        f"telemetry overhead {overhead * 100:.2f}% >= 3%")
+
+
 def test_fig5_sweep_end_to_end_speedup(benchmark, tmp_path_factory):
     """Acceptance benchmark: the sweep engine must deliver >= 2x end-to-end
     on a Fig.5-style multi-block-size classification sweep.

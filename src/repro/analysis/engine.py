@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import re
+import time
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -54,6 +56,8 @@ from ..errors import (
     ResourceExhaustedError,
 )
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
+from ..obs import RunTelemetry, current_run
+from ..obs.recorder import get_recorder
 from ..protocols.results import ProtocolResult, merge_shard_results
 from ..protocols.runner import ALL_PROTOCOLS, make_protocol
 from ..protocols.sharding import (
@@ -78,6 +82,8 @@ from ..trace.cache import WorkloadTraceCache, workload_cache_key
 from ..trace.events import ACQUIRE, RELEASE, STORE
 from ..trace.trace import Trace
 from .sweep import SweepResult
+
+logger = logging.getLogger(__name__)
 
 #: Classifier registry for grid cells.
 CLASSIFIERS = {
@@ -341,6 +347,43 @@ class SharedPrecompute:
                                    data_refs=clf.data_refs + dropped)
 
     def run_cell(self, cell: Cell):
+        """Dispatch one cell (or shard subtask), timed as a telemetry span.
+
+        This is the single instrumentation point of cell execution: the
+        supervisor's workers, the serial path and the degraded fallback
+        all funnel through here, so every attempt — wherever it ran —
+        leaves a ``cell.run``/``shard.run`` span (``status="error"`` when
+        it raised) plus row-count and throughput metrics.  With telemetry
+        off the wrapper is a single attribute check.
+        """
+        rec = get_recorder()
+        if not rec.active:
+            return self._dispatch_cell(cell)
+        kind = cell[0]
+        name = "shard.run" if kind.endswith("-shard") else "cell.run"
+        rows = len(self.data.proc)
+        if name == "shard.run":
+            try:
+                rows = -(-rows // self.plan_by_digest(cell[3]).num_shards)
+            except ConfigError:  # unknown plan: keep the full-trace count
+                pass
+        wall = time.time()
+        t0 = time.monotonic()
+        try:
+            result = self._dispatch_cell(cell)
+        except BaseException:
+            rec.span_complete(name, time.monotonic() - t0, status="error",
+                              t=wall, cell=list(cell), rows=rows)
+            raise
+        dur = time.monotonic() - t0
+        rec.span_complete(name, dur, t=wall, cell=list(cell), rows=rows)
+        rec.metric("cell.rows", rows, cell=list(cell))
+        if dur > 0:
+            rec.metric("cell.events_per_sec", round(rows / dur, 1),
+                       unit="events/s", cell=list(cell))
+        return result
+
+    def _dispatch_cell(self, cell: Cell):
         kind, block_bytes, which = cell[:3]
         if kind == "classify":
             return self.run_classifier(which, block_bytes)
@@ -398,6 +441,9 @@ class ExecutionOptions:
     #: Memory budget in bytes for the whole sweep (``--memory-budget``);
     #: ``None`` falls back to ``$REPRO_MEMORY_BUDGET``, else ungoverned.
     memory_budget: Optional[int] = None
+    #: Record run telemetry (spans, metrics, manifest) under this
+    #: directory (``--telemetry``); ``None`` disables recording.
+    telemetry_dir: Optional[str] = None
 
     def engine_kwargs(self) -> dict:
         return {"retry": self.retry, "timeout": self.timeout,
@@ -405,7 +451,8 @@ class ExecutionOptions:
                 "strict_invariants": self.strict_invariants,
                 "fault_plan": self.fault_plan,
                 "shards": self.shards,
-                "memory_budget": self.memory_budget}
+                "memory_budget": self.memory_budget,
+                "telemetry_dir": self.telemetry_dir}
 
 
 class SweepEngine:
@@ -460,6 +507,16 @@ class SweepEngine:
         then serial in-process) instead of crash-looping; every rung
         reuses the completed cells, so the final results are
         bit-identical to an unconstrained run.
+    telemetry_dir:
+        Record run telemetry under this directory (``--telemetry``): a
+        per-run subdirectory with an ``events.jsonl`` span/metric stream
+        and a queryable ``manifest.json`` (see :mod:`repro.obs`).  When a
+        :class:`~repro.obs.RunTelemetry` is already active (the CLI's
+        command-scoped run), the engine joins it instead of opening a
+        nested one.
+    progress:
+        Render the live stderr progress line while a grid runs (only
+        when this engine opened its own telemetry run).
     trace_key:
         Stable identity of the trace for checkpoint keying; defaults to
         the workload's trace-cache key via :meth:`for_workload`, else a
@@ -474,6 +531,8 @@ class SweepEngine:
                  fault_plan: Optional[FaultPlan] = None,
                  shards: Optional[int] = None,
                  memory_budget: Optional[int] = None,
+                 telemetry_dir: Optional[str] = None,
+                 progress: bool = False,
                  trace_key: Optional[str] = None):
         self.trace = trace
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
@@ -486,6 +545,8 @@ class SweepEngine:
             raise ConfigError(f"shards must be >= 0, got {shards}")
         self.shards = shards or None  # 0 normalizes to automatic
         self.memory_budget = resolve_memory_budget(memory_budget)
+        self.telemetry_dir = telemetry_dir
+        self.progress = progress
         self._trace_key = trace_key
         self._precompute: Optional[SharedPrecompute] = None
 
@@ -596,20 +657,55 @@ class SweepEngine:
         in-process.  Every rung resumes from the cells and shard partials
         already completed, so a degraded sweep returns the same results an
         unconstrained one would.
+
+        With ``telemetry_dir`` set (and no run already being recorded),
+        the whole grid is recorded as one :class:`~repro.obs.RunTelemetry`
+        run: sweep/rung lifecycle events, per-cell spans, resume and
+        ladder events, and a ``manifest.json`` folded from the stream.
         """
+        if self.telemetry_dir is not None and current_run() is None:
+            with RunTelemetry(self.telemetry_dir, progress=self.progress,
+                              config=self._telemetry_config()):
+                return self._run_grid(cells)
+        return self._run_grid(cells)
+
+    def _telemetry_config(self) -> dict:
+        return {"trace": self.trace.name, "jobs": self.jobs,
+                "shards": self.shards, "timeout": self.timeout,
+                "memory_budget": self.memory_budget,
+                "checkpoint_dir": self.checkpoint_dir}
+
+    def _run_grid(self, cells: Sequence[Cell]) -> List:
         cells = [tuple(cell) for cell in cells]
+        rec = get_recorder()
         journal = None
         completed: Dict[Tuple, object] = {}
         if self.checkpoint_dir is not None:
             journal = CheckpointJournal(self.checkpoint_dir or None,
                                         self.trace_key)
             completed = journal.load()
+        resumed = set()
+        if rec.active:
+            rec.event("sweep.start", trace=self.trace.name,
+                      trace_key=self.trace_key,
+                      num_procs=self.trace.num_procs,
+                      events=len(self.trace), cells=len(cells),
+                      jobs=self.jobs)
+            logger.info("sweep over %s: %d cell(s), jobs=%d",
+                        self.trace.name, len(cells), self.jobs)
+            resumed = {c for c in cells if c in completed}
+            for cell in sorted(resumed, key=repr):
+                rec.event("cell.resumed", cell=list(cell),
+                          trace_key=self.trace_key)
+            if resumed:
+                logger.info("resuming %d journaled cell(s) from %s",
+                            len(resumed), self.trace_key)
         try:
             rungs = degradation_rungs(self.jobs, self.shards)
             for step, rung in enumerate(rungs):
                 final = step == len(rungs) - 1
                 try:
-                    return self._run_grid_once(
+                    results = self._run_grid_once(
                         cells, completed, journal,
                         jobs=1 if rung.serial else rung.jobs,
                         shards_setting=rung.shards,
@@ -619,12 +715,27 @@ class SweepEngine:
                         raise
                     if exc.partial:
                         completed.update(exc.partial)
+                    rec.event("ladder.step", level="warning",
+                              rung=rung.label,
+                              next_rung=rungs[step + 1].label,
+                              salvaged=len(exc.partial or {}))
                     detail = str(exc).splitlines()[0]
                     warn_resource(
                         f"OOM-class failure at rung {rung.label!r} "
                         f"({detail}); degrading to "
                         f"{rungs[step + 1].label!r} with "
                         f"{len(exc.partial or {})} task(s) salvaged")
+                    continue
+                rec.event("sweep.finish", trace_key=self.trace_key,
+                          cells=len(cells), rung=rung.label)
+                run = current_run()
+                if run is not None:
+                    for cell, result in zip(cells, results):
+                        run.cell_result(
+                            self.trace_key, cell, result,
+                            source="journal" if cell in resumed
+                            else "computed")
+                return results
             raise AssertionError("unreachable: ladder ends serial")
         finally:
             if journal is not None:
@@ -667,6 +778,21 @@ class SweepEngine:
                 tasks.append(cell)
         jobs = min(jobs, len(tasks)) if tasks else 1
 
+        rec = get_recorder()
+        if rec.active:
+            rec.event("rung.start", tasks=len(tasks), jobs=jobs,
+                      shards=shards)
+            logger.info("rung start: %d task(s), jobs=%d, shards=%d",
+                        len(tasks), jobs, shards)
+            for cell in dict.fromkeys(c for c in cells
+                                      if c not in completed):
+                per_cell_shards = len(groups.get(cell, ())) or 1
+                rec.metric(
+                    "footprint.predicted_bytes",
+                    estimate_cell_bytes(self.trace,
+                                        shards=per_cell_shards),
+                    unit="bytes", cell=list(cell))
+
         def on_result(task, result):
             self._guard_cell(task, result)
             if journal is not None:
@@ -688,11 +814,21 @@ class SweepEngine:
             if cell in completed:
                 results.append(completed[cell])
             elif cell in groups:
-                merged = self._merge_cell(
-                    cell, [by_task[sc] for sc in groups[cell]])
+                with rec.span("merge", cell=list(cell),
+                              shards=len(groups[cell])):
+                    merged = self._merge_cell(
+                        cell, [by_task[sc] for sc in groups[cell]])
                 self._guard_cell(cell, merged)
                 if journal is not None:
                     journal.record(cell, merged)
+                run = current_run()
+                if run is not None:
+                    # A sharded cell never ran as one task; synthesize
+                    # its cell.run span from the folded shard durations
+                    # so the merged timeline keeps exactly one ok
+                    # cell.run span per grid cell.
+                    run.merged_cell(self.trace_key, cell,
+                                    len(groups[cell]))
                 results.append(merged)
                 completed[cell] = merged  # duplicate cells in the grid
             else:

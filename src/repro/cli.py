@@ -11,6 +11,12 @@ fig5        Reproduce Figure 5 for the whole small suite.
 fig6        Reproduce Figure 6 (a and b) for the whole small suite.
 validate    Run the data-race checker over a trace file or workload.
 generate    Generate a workload trace and save it (.npz or .trc).
+report      Render a recorded run's telemetry (see ``--telemetry``).
+
+Global flags: ``-v``/``-q`` adjust console log verbosity (repeatable);
+``--telemetry DIR`` on the sweep-style commands records the whole command
+as one run — spans, metrics and a queryable ``manifest.json`` — and shows
+a live progress line on stderr.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from .obs import configure_logging
 
 from .analysis.figures import figure5, figure6
 from .analysis.sweep import sweep_block_sizes
@@ -62,13 +70,16 @@ def _engine_options(args):
     strict = getattr(args, "strict_invariants", False)
     shards = getattr(args, "shards", None)
     memory_budget = getattr(args, "memory_budget", None)
+    telemetry = getattr(args, "telemetry", None)
     if (retries is None and timeout is None and resume is None
-            and not strict and shards is None and memory_budget is None):
+            and not strict and shards is None and memory_budget is None
+            and telemetry is None):
         return None
     retry = RetryPolicy.from_retries(retries) if retries is not None else None
     return ExecutionOptions(retry=retry, timeout=timeout,
                             checkpoint_dir=resume, strict_invariants=strict,
-                            shards=shards, memory_budget=memory_budget)
+                            shards=shards, memory_budget=memory_budget,
+                            telemetry_dir=telemetry)
 
 
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
@@ -206,6 +217,13 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from .obs import render_report
+
+    render_report(args.dir, top=args.top, stream=sys.stdout)
+    return 0
+
+
 def _size(text: str) -> int:
     """argparse type for human byte sizes (``512M``, ``1.5G``, ``4096``)."""
     from .runtime.resources import parse_size
@@ -259,12 +277,23 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="disk quota for the --trace-cache directory; "
                         "least-recently-used entries are evicted after "
                         "each write to stay under it (default: unbounded)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="record run telemetry under DIR: a per-run "
+                        "subdirectory with an events.jsonl span/metric "
+                        "stream and a queryable manifest.json, plus a "
+                        "live progress line on stderr; render it later "
+                        "with 'repro report DIR'")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dubois et al. (ISCA 1993) useless-miss reproduction")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more console logging (-v: info, -vv: debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less console logging (errors only; also "
+                             "hides the --telemetry progress line)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("classify", help="classify a trace at one block size")
@@ -332,13 +361,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=sorted(NAMED_CONFIGS))
     p.add_argument("out", help="output path (.npz or .trc)")
     p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("report",
+                       help="render a recorded run's telemetry (manifest "
+                            "per-cell table + slowest spans)")
+    p.add_argument("dir", help="a --telemetry directory or one run "
+                               "directory inside it")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="how many slowest spans to list (default: 10)")
+    p.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    verbosity = args.verbose - args.quiet
+    configure_logging(verbosity)
+    telemetry_dir = getattr(args, "telemetry", None)
     try:
+        if telemetry_dir is not None:
+            # One run for the whole command: trace loading (cache spans)
+            # and every engine the command builds share the stream.
+            from .obs import RunTelemetry
+
+            run_argv = list(argv) if argv is not None else sys.argv[1:]
+            with RunTelemetry(telemetry_dir, argv=run_argv,
+                              config={"command": args.command},
+                              progress=verbosity >= 0):
+                return args.func(args)
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,109 @@
+"""Stdlib logging configuration for the ``repro`` library and CLI.
+
+Every ``repro.*`` module logs through ``logging.getLogger(__name__)``,
+which all roll up to the ``"repro"`` logger configured here.  The library
+itself never calls :func:`configure_logging` — per logging best practice
+it only attaches a :class:`logging.NullHandler` — the CLI (``-v`` /
+``-q``) and test harnesses opt in.
+
+Verbosity maps onto the console handler level:
+
+=========  ==================  =======================================
+CLI flags  ``verbosity``       console shows
+=========  ==================  =======================================
+``-q``     ``-1`` (or lower)   errors only
+(none)     ``0``               warnings (retries, degradations, ...)
+``-v``     ``1``               info (run/sweep lifecycle, cache hits)
+``-vv``    ``2`` (or higher)   debug
+=========  ==================  =======================================
+
+The *logger* level is kept at least ``INFO`` (``DEBUG`` with ``-vv``)
+regardless of the console level, so the telemetry recorder's
+:class:`~repro.obs.recorder.TelemetryLogHandler` — attached per run by
+:class:`~repro.obs.manifest.RunTelemetry` — always receives the records
+that belong in the JSONL stream even when the console stays quiet.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: The root of the library's logger hierarchy.
+LIBRARY_LOGGER = "repro"
+
+#: Attribute marking the console handler we installed (so repeated
+#: configuration replaces it instead of stacking duplicates).
+_CONSOLE_MARK = "_repro_console_handler"
+
+
+def library_logger() -> logging.Logger:
+    return logging.getLogger(LIBRARY_LOGGER)
+
+
+def console_level(verbosity: int) -> int:
+    """Map a ``-v``/``-q`` count onto a logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+class _ConsoleHandler(logging.StreamHandler):
+    """Best-effort console handler: a closed or replaced stderr (test
+    harnesses swap ``sys.stderr`` per test) must never turn a warning
+    into a logging-internal traceback."""
+
+    def handleError(self, record) -> None:  # pragma: no cover - noise path
+        pass
+
+    def setStream(self, stream):
+        try:
+            return super().setStream(stream)
+        except (ValueError, OSError):  # flushing a closed previous stream
+            self.stream = stream
+            return None
+
+
+def configure_logging(verbosity: int = 0,
+                      stream=None) -> logging.Logger:
+    """Install (or replace) the CLI console handler on the repro logger.
+
+    Idempotent: calling again reconfigures the one console handler
+    rather than adding another, rebinding it to the *current*
+    ``sys.stderr`` (it may have been swapped since).  Propagation is
+    left on so ambient capture (``caplog``, an application's root
+    configuration) keeps seeing repro records.  Returns the configured
+    logger.
+    """
+    logger = library_logger()
+    level = console_level(verbosity)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, _CONSOLE_MARK, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = _ConsoleHandler(stream if stream is not None
+                                  else sys.stderr)
+        setattr(handler, _CONSOLE_MARK, True)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s: %(message)s"))
+        logger.addHandler(handler)
+    else:
+        handler.setStream(stream if stream is not None else sys.stderr)
+    handler.setLevel(level)
+    # The logger itself stays permissive enough for the telemetry
+    # handler: records are filtered per handler, not at the source.
+    logger.setLevel(min(level, logging.DEBUG if verbosity >= 2
+                        else logging.INFO))
+    return logger
+
+
+# Library default: silent unless a consumer configures handlers.
+if not library_logger().handlers:  # pragma: no branch
+    library_logger().addHandler(logging.NullHandler())

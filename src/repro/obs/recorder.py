@@ -1,0 +1,333 @@
+"""Structured telemetry recorder: spans, metrics, events and logs as JSONL.
+
+The :class:`Recorder` is the single write path of the observability layer
+(:mod:`repro.obs`): every instrumented site in the engine, supervisor,
+trace cache and checkpoint journal asks :func:`get_recorder` for the
+process-current recorder and emits through it.  When no run is being
+recorded the current recorder is the :data:`NULL_RECORDER`, whose every
+method is a no-op — instrumentation costs a global read and a method
+call, nothing else, which is what keeps the telemetry overhead budget
+(< 3 % end to end, see ``benchmarks/bench_throughput.py``).
+
+Record shapes (all one JSON object per line, schema-checked against
+``telemetry.schema.json``):
+
+* **span** — a timed operation: ``{"kind": "span", "name": "cell.run",
+  "t": <wall start>, "dur_s": ..., "status": "ok"|"error", "attrs": {...}}``.
+  Durations come from ``time.monotonic()``; ``t`` is the wall-clock start
+  for cross-process ordering.
+* **metric** — a named measurement: ``{"kind": "metric", "name":
+  "cell.events_per_sec", "value": ..., "unit": ..., "attrs": {...}}``.
+* **event** — a point-in-time occurrence: ``{"kind": "event", "name":
+  "task.retry", "level": "warning", "attrs": {...}}``.
+* **log** — a stdlib logging record bridged into the stream via
+  :class:`TelemetryLogHandler`.
+
+Workers do not write files: a forked worker swaps in a *buffering*
+recorder (:meth:`Recorder.buffering`) whose records are drained and
+shipped back over the supervisor's existing reply pipe, then merged into
+the parent stream by :meth:`Recorder.ingest` — sharded and degraded runs
+therefore produce one coherent timeline in one ``events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import logging
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Version stamped into every record (and checked by the schema).
+SCHEMA_VERSION = 1
+
+
+def _json_default(obj: Any) -> Any:
+    """Last-resort JSON coercion so telemetry never crashes a sweep."""
+    try:
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    return repr(obj)
+
+
+class _NullSpan:
+    """The do-nothing span of the :data:`NULL_RECORDER`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Discard attributes (the run is not being recorded)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """No-op recorder installed while no run is being recorded.
+
+    Mirrors the full :class:`Recorder` surface so instrumented code never
+    branches on "is telemetry on" — it just emits.
+    """
+
+    active = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def span_complete(self, name: str, dur_s: float, *,
+                      status: str = "ok", t: Optional[float] = None,
+                      **attrs) -> None:
+        pass
+
+    def metric(self, name: str, value, unit: Optional[str] = None,
+               **attrs) -> None:
+        pass
+
+    def event(self, name: str, *, level: str = "info", **attrs) -> None:
+        pass
+
+    def log(self, level: str, logger: str, message: str) -> None:
+        pass
+
+    def ingest(self, records: Iterable[dict]) -> None:
+        pass
+
+    def drain(self) -> List[dict]:
+        return []
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide no-op recorder (a singleton; never close it).
+NULL_RECORDER = NullRecorder()
+
+_current: Any = NULL_RECORDER
+
+
+def get_recorder():
+    """The recorder instrumented code should emit through right now."""
+    return _current
+
+
+def set_recorder(recorder) -> Any:
+    """Install ``recorder`` (or the null recorder for ``None``) globally."""
+    global _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return _current
+
+
+@contextlib.contextmanager
+def use_recorder(recorder):
+    """Scope ``recorder`` as the current one, restoring the previous."""
+    previous = _current
+    set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+class _Span:
+    """A timed region; emits one ``span`` record when the ``with`` exits.
+
+    The span emits on exceptions too (``status="error"``), so a failed
+    cell still leaves its timing in the stream; attempt bookkeeping is
+    the supervisor's job, not the span's.
+    """
+
+    __slots__ = ("_recorder", "name", "attrs", "_t0", "_wall")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._wall = time.time()
+        self._t0 = time.monotonic()
+        return self
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.monotonic() - self._t0
+        self._recorder.span_complete(
+            self.name, dur, status="ok" if exc_type is None else "error",
+            t=self._wall, **self.attrs)
+        return False
+
+
+class Recorder:
+    """Append-only JSONL sink for one run's telemetry records.
+
+    Parameters
+    ----------
+    path:
+        The ``events.jsonl`` file to append to.  ``None`` buffers records
+        in memory instead (the worker-side child mode; see :meth:`drain`).
+
+    Listeners registered with :meth:`add_listener` observe every record
+    as it is emitted (including worker records merged via
+    :meth:`ingest`) — this is how the live progress line and the manifest
+    builder stay current without re-reading the file.
+    """
+
+    active = True
+
+    def __init__(self, path: Optional[str] = None):
+        self._path = path
+        self._fh = None
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._buffer: Optional[List[dict]] = [] if path is None else None
+        self._listeners: List[Callable[[dict], None]] = []
+
+    @classmethod
+    def buffering(cls) -> "Recorder":
+        """A child recorder that buffers records for :meth:`drain`."""
+        return cls(path=None)
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        self._listeners.append(listener)
+
+    def _write(self, record: dict) -> None:
+        if self._buffer is not None:
+            self._buffer.append(record)
+            return
+        if self._fh is None:
+            directory = os.path.dirname(self._path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fh = open(self._path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  default=_json_default) + "\n")
+        self._fh.flush()
+
+    def _emit(self, record: dict) -> None:
+        record.setdefault("v", SCHEMA_VERSION)
+        record.setdefault("t", time.time())
+        record.setdefault("pid", os.getpid())
+        with self._lock:
+            record["seq"] = next(self._seq)
+            self._write(record)
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:  # pragma: no cover - listeners never fatal
+                logging.getLogger(__name__).exception(
+                    "telemetry listener failed")
+
+    # ------------------------------------------------------------------
+    # the four record kinds
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager timing one operation as a ``span`` record."""
+        return _Span(self, name, attrs)
+
+    def span_complete(self, name: str, dur_s: float, *,
+                      status: str = "ok", t: Optional[float] = None,
+                      **attrs) -> None:
+        """Emit a span measured externally (or synthesized at merge)."""
+        record = {"kind": "span", "name": name,
+                  "dur_s": round(float(dur_s), 6), "status": status,
+                  "attrs": attrs}
+        if t is not None:
+            record["t"] = t
+        self._emit(record)
+
+    def metric(self, name: str, value, unit: Optional[str] = None,
+               **attrs) -> None:
+        record = {"kind": "metric", "name": name, "value": value,
+                  "attrs": attrs}
+        if unit is not None:
+            record["unit"] = unit
+        self._emit(record)
+
+    def event(self, name: str, *, level: str = "info", **attrs) -> None:
+        self._emit({"kind": "event", "name": name, "level": level,
+                    "attrs": attrs})
+
+    def log(self, level: str, logger: str, message: str) -> None:
+        self._emit({"kind": "log", "level": level, "logger": logger,
+                    "message": message})
+
+    # ------------------------------------------------------------------
+    # cross-process merge (the supervisor reply channel)
+    # ------------------------------------------------------------------
+    def drain(self) -> List[dict]:
+        """Take the buffered records (child mode); empties the buffer."""
+        if self._buffer is None:
+            return []
+        with self._lock:
+            records, self._buffer = self._buffer, []
+        return records
+
+    def ingest(self, records: Iterable[dict]) -> None:
+        """Merge records shipped back from a worker into this stream.
+
+        The worker's wall time and pid are preserved (that is the
+        timeline); the parent re-assigns ``seq`` so the merged stream has
+        a single total order.
+        """
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            record = dict(record)
+            record.pop("seq", None)
+            self._emit(record)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TelemetryLogHandler(logging.Handler):
+    """Bridge stdlib logging records into the telemetry stream.
+
+    Attached to the ``repro`` logger while a run is recorded, so every
+    ``logger.warning(...)`` (supervisor retries, resource-governor
+    degradations, cache quarantines) lands in ``events.jsonl`` as a
+    ``log`` record alongside the spans it explains.
+    """
+
+    def __init__(self, recorder: Recorder, level: int = logging.INFO):
+        super().__init__(level)
+        self._recorder = recorder
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self._recorder.log(record.levelname.lower(), record.name,
+                               record.getMessage())
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)

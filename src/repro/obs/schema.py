@@ -1,0 +1,167 @@
+"""Validation of telemetry records against the checked-in JSON schema.
+
+The contract for every line of a run's ``events.jsonl`` lives in
+``telemetry.schema.json`` next to this module — a reviewed, checked-in
+artifact, so adding a new span/metric/event name is a visible schema
+change, not a silent drift.  Validation itself is a small zero-dependency
+interpreter of the JSON-Schema subset the contract uses (``type``,
+``enum``, ``required``, ``properties``, ``additionalProperties``,
+``oneOf``, ``$ref`` into ``definitions``, ``minimum``, ``items``): the
+container deliberately has no ``jsonschema`` package, and the subset is
+tiny enough that a faithful interpreter is less code than a vendored
+validator.
+
+``validate_record`` raises :class:`TelemetrySchemaError` naming the JSON
+path of the first violation; ``validate_stream`` checks a whole
+``events.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Path of the checked-in schema (ships inside the package).
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "telemetry.schema.json")
+
+_schema_cache: Optional[dict] = None
+
+
+class TelemetrySchemaError(ReproError):
+    """A telemetry record does not conform to the checked-in schema."""
+
+
+def load_schema() -> dict:
+    """The parsed ``telemetry.schema.json`` (cached per process)."""
+    global _schema_cache
+    if _schema_cache is None:
+        with open(SCHEMA_PATH, "r", encoding="utf-8") as fh:
+            _schema_cache = json.load(fh)
+    return _schema_cache
+
+
+# ----------------------------------------------------------------------
+# the mini validator
+# ----------------------------------------------------------------------
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise TelemetrySchemaError(f"unsupported $ref {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        try:
+            node = node[part]
+        except (KeyError, TypeError):
+            raise TelemetrySchemaError(f"dangling $ref {ref!r}") from None
+    return node
+
+
+def _check(value: Any, schema: dict, root: dict, path: str,
+           errors: List[str]) -> None:
+    if "$ref" in schema:
+        _check(value, _resolve_ref(schema["$ref"], root), root, path, errors)
+        return
+    if "oneOf" in schema:
+        branch_errors: List[List[str]] = []
+        for branch in schema["oneOf"]:
+            attempt: List[str] = []
+            _check(value, branch, root, path, attempt)
+            if not attempt:
+                return
+            branch_errors.append(attempt)
+        summary = "; ".join(be[0] for be in branch_errors)
+        errors.append(f"{path}: matched no oneOf branch ({summary})")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(f"{path}: expected type {expected}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in value:
+                _check(value[name], sub, root, f"{path}.{name}", errors)
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _check(item, schema["items"], root, f"{path}[{i}]", errors)
+
+
+def validate_record(record: dict, schema: Optional[dict] = None) -> None:
+    """Validate one telemetry record; raises :class:`TelemetrySchemaError`."""
+    schema = schema if schema is not None else load_schema()
+    errors: List[str] = []
+    _check(record, schema, schema, "$", errors)
+    if errors:
+        raise TelemetrySchemaError(
+            f"telemetry record invalid: {errors[0]}"
+            + (f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""))
+
+
+def iter_records(path: str) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line_number, record)`` from an ``events.jsonl`` file.
+
+    A torn final line (the process was killed mid-write) is skipped, the
+    same tolerance the checkpoint journal extends to its own tail.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def validate_stream(path: str) -> int:
+    """Validate every record of an ``events.jsonl``; returns the count."""
+    schema = load_schema()
+    count = 0
+    for lineno, record in iter_records(path):
+        try:
+            validate_record(record, schema)
+        except TelemetrySchemaError as exc:
+            raise TelemetrySchemaError(
+                f"{path}:{lineno}: {exc}") from None
+        count += 1
+    return count
+
+
+def summarize_kinds(path: str) -> Dict[str, int]:
+    """Record count per ``kind`` (handy for smoke checks and tests)."""
+    counts: Dict[str, int] = {}
+    for _, record in iter_records(path):
+        kind = record.get("kind", "<missing>")
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

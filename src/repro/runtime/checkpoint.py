@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..classify.breakdown import DuboisBreakdown, SimpleBreakdown
 from ..classify.compare import ClassificationComparison
 from ..errors import CheckpointError
+from ..obs.recorder import get_recorder
 from ..protocols.results import Counters, ProtocolResult
 
 _VERSION = 1
@@ -185,13 +186,15 @@ class CheckpointJournal:
             ensure_free_space(self.directory, self.MIN_FREE_BYTES,
                               label="checkpoint journal")
             self._fh = open(self.path, "a", encoding="utf-8")
-        line = json.dumps({"v": _VERSION, "key": self.trace_key,
-                           "cell": list(cell),
-                           "result": encode_result(result)},
-                          sort_keys=True)
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        with get_recorder().span("checkpoint.write", cell=list(cell),
+                                 key=self.trace_key):
+            line = json.dumps({"v": _VERSION, "key": self.trace_key,
+                               "cell": list(cell),
+                               "result": encode_result(result)},
+                              sort_keys=True)
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:

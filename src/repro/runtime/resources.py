@@ -33,6 +33,7 @@ idle while over-admission re-invites the OOM killer.
 
 from __future__ import annotations
 
+import logging
 import os
 import shutil
 import signal
@@ -41,6 +42,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import ConfigError, ResourceExhaustedError
+
+logger = logging.getLogger(__name__)
 
 try:
     import resource
@@ -473,5 +476,12 @@ def dir_size_bytes(directory: str, suffixes: Tuple[str, ...] = ()) -> int:
 
 
 def warn_resource(message: str) -> None:
-    """Uniform, greppable resource-governor warning."""
+    """Uniform, greppable resource-governor warning.
+
+    Goes out both as a :mod:`warnings` warning (the API contract existing
+    callers and tests rely on) and as a warning-level log record, so a
+    ``-v`` console and the telemetry stream see degradations the moment
+    they happen.
+    """
+    logger.warning("[resource-governor] %s", message)
     warnings.warn(f"[resource-governor] {message}", stacklevel=3)

@@ -42,6 +42,7 @@ pool used.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import multiprocessing.connection
 import time
@@ -50,14 +51,24 @@ from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import CellFailedError, ResourceExhaustedError
+from ..obs import get_recorder, worker_begin
 from .faults import FaultPlan
-from .resources import apply_worker_rlimit, classify_exitcode
+from .resources import apply_worker_rlimit, classify_exitcode, peak_rss_bytes
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+logger = logging.getLogger(__name__)
 
 # Fork-inherited worker state (set in the parent just before spawning).
 _WORKER_RUNNER: Optional[Callable[[Any], Any]] = None
 _WORKER_FAULTS: Optional[FaultPlan] = None
 _WORKER_RLIMIT: Optional[int] = None
+
+
+def _task_attr(task):
+    """A task rendered for telemetry ``attrs`` (grid cells are tuples)."""
+    if isinstance(task, (tuple, list)):
+        return list(task)
+    return task
 
 
 def _failure_payload(exc: BaseException) -> dict:
@@ -73,15 +84,20 @@ def _failure_payload(exc: BaseException) -> dict:
 def _worker_main(conn) -> None:
     """Worker loop: receive ``("run", idx, task, attempt)``, send results.
 
-    Replies ``(idx, True, result)`` or ``(idx, False, {"error", "kind"})``;
-    a ``("stop",)`` message (or a closed pipe) ends the loop.  When the
-    parent configured ``worker_rlimit_bytes``, the worker soft-caps its
-    address space *relative to what fork inherited* before serving tasks,
-    so an over-budget cell dies as a classified ``MemoryError`` reply,
-    never as a kernel SIGKILL.
+    Replies ``(idx, ok, payload, records)`` where ``records`` is the
+    worker's buffered telemetry (``None`` when telemetry is off) — the
+    child recorder installed by :func:`repro.obs.worker_begin` is drained
+    after every task so spans and metrics ride the existing reply pipe
+    back into the parent stream.  A ``("stop",)`` message (or a closed
+    pipe) ends the loop.  When the parent configured
+    ``worker_rlimit_bytes``, the worker soft-caps its address space
+    *relative to what fork inherited* before serving tasks, so an
+    over-budget cell dies as a classified ``MemoryError`` reply, never as
+    a kernel SIGKILL.
     """
     runner = _WORKER_RUNNER
     faults = _WORKER_FAULTS
+    recorder = worker_begin()
     if _WORKER_RLIMIT is not None:
         apply_worker_rlimit(_WORKER_RLIMIT)
     while True:
@@ -96,18 +112,24 @@ def _worker_main(conn) -> None:
             if faults is not None:
                 faults.apply_worker(task, attempt, idx)
             result = runner(task)
-            reply = (idx, True, result)
+            ok, payload = True, result
         except BaseException as exc:
-            reply = (idx, False, _failure_payload(exc))
+            ok, payload = False, _failure_payload(exc)
+        records = None
+        if recorder is not None:
+            recorder.metric("worker.ru_maxrss_kb",
+                            peak_rss_bytes() // 1024, unit="kb",
+                            cell=_task_attr(task))
+            records = recorder.drain()
         try:
-            conn.send(reply)
+            conn.send((idx, ok, payload, records))
         except Exception:
             # The result (or error) could not cross the pipe; report a
             # sendable failure so the supervisor can retry the cell.
             try:
                 conn.send((idx, False,
                            {"error": "worker could not send result for "
-                                     f"task {idx}", "kind": "error"}))
+                                     f"task {idx}", "kind": "error"}, None))
             except Exception:
                 return
 
@@ -257,23 +279,57 @@ class Supervisor:
 
     def _attempt_serial(self, att: _Attempt):
         """One in-process attempt cycle honouring the retry policy."""
+        rec = get_recorder()
         while att.attempts < self.retry.max_attempts:
             att.attempts += 1
+            rec.event("task.assigned", cell=_task_attr(att.task),
+                      attempt=att.attempts, where="serial")
             try:
                 if self.fault_plan is not None:
                     self.fault_plan.apply_serial(att.task, att.attempts,
                                                  att.idx)
-                return self.runner(att.task)
+                result = self.runner(att.task)
             except Exception as exc:
                 att.history.append({"attempt": att.attempts,
                                     "where": "serial",
                                     "error": traceback.format_exc(limit=20),
                                     "kind": ("oom" if isinstance(exc,
                                              MemoryError) else "error")})
-                if att.attempts < self.retry.max_attempts:
+                retrying = att.attempts < self.retry.max_attempts
+                self._note_failure(att, action="retry" if retrying
+                                   else "abort")
+                if retrying:
                     time.sleep(self.retry.delay(att.attempts))
+                continue
+            rec.event("task.done", cell=_task_attr(att.task),
+                      attempt=att.attempts)
+            return result
         raise CellFailedError("retries exhausted", cell=att.task,
                               attempts=att.history)
+
+    def _note_failure(self, att: _Attempt, *, action: str) -> None:
+        """Surface one failed attempt the moment it happens.
+
+        Emits the ``task.failed`` telemetry event and a warning-level log
+        record carrying the failure class and what happens next — silent
+        retries were how degraded runs used to hide from operators.
+        """
+        entry = att.history[-1] if att.history else {}
+        detail_lines = (entry.get("error") or "").strip().splitlines()
+        detail = detail_lines[-1] if detail_lines else "unknown failure"
+        next_step = {"retry": "retrying after backoff",
+                     "fallback": "queued for serial fallback",
+                     "degrade": "handing off to the degradation ladder",
+                     "abort": "aborting the run"}[action]
+        log = logger.error if action == "abort" else logger.warning
+        log("task %r attempt %d failed in %s (%s): %s; %s",
+            att.task, att.attempts, entry.get("where", "worker"),
+            entry.get("kind", "error"), detail, next_step)
+        get_recorder().event(
+            "task.failed",
+            level="error" if action == "abort" else "warning",
+            cell=_task_attr(att.task), attempt=att.attempts,
+            fail_kind=entry.get("kind", "error"), action=action)
 
     # ------------------------------------------------------------------
     # supervised pool execution
@@ -327,9 +383,12 @@ class Supervisor:
             _WORKER_RLIMIT = None
         # Degraded path: cells that repeatedly failed in workers get one
         # last serial in-process attempt each.
+        rec = get_recorder()
         for att in fallback:
             att.history.append({"attempt": att.attempts + 1,
                                 "where": "serial-fallback", "error": None})
+            rec.event("task.assigned", cell=_task_attr(att.task),
+                      attempt=att.attempts + 1, where="serial-fallback")
             try:
                 if self.fault_plan is not None:
                     self.fault_plan.apply_serial(att.task, att.attempts + 1,
@@ -339,7 +398,11 @@ class Supervisor:
                 att.history[-1]["error"] = traceback.format_exc(limit=20)
                 att.history[-1]["kind"] = ("oom" if isinstance(exc,
                                            MemoryError) else "error")
+                att.attempts += 1
+                self._note_failure(att, action="abort")
                 raise self._failure(att, results, todo) from None
+            rec.event("task.done", cell=_task_attr(att.task),
+                      attempt=att.attempts + 1)
             if on_result is not None:
                 on_result(att.task, results[att.idx])
 
@@ -352,6 +415,9 @@ class Supervisor:
                 att = pending.popleft()
                 if att.not_before <= now:
                     w.assign(att, self.timeout)
+                    get_recorder().event(
+                        "task.assigned", cell=_task_attr(att.task),
+                        attempt=att.attempts, worker_pid=w.process.pid)
                     break
                 pending.append(att)
             else:
@@ -370,14 +436,27 @@ class Supervisor:
                         results, on_result, ctx, wid, todo) -> int:
         """Handle one worker's result or death; returns cells finished."""
         if w.conn in ready_set:
+            records = None
             try:
-                idx, ok, payload = w.conn.recv()
+                msg = w.conn.recv()
+                if len(msg) >= 4:
+                    idx, ok, payload, records = msg[:4]
+                else:  # legacy 3-tuple reply (no telemetry channel)
+                    idx, ok, payload = msg
             except (EOFError, OSError):
                 ok = None  # pipe died mid-message: treat as a crash
+            if records:
+                # Merge the worker's buffered telemetry into the parent
+                # stream before the task outcome is recorded, so the
+                # cell's spans precede its task.done/task.failed event.
+                get_recorder().ingest(records)
             if ok is not None:
                 att, w.current, w.deadline = w.current, None, None
                 if ok:
                     results[att.idx] = payload
+                    get_recorder().event("task.done",
+                                         cell=_task_attr(att.task),
+                                         attempt=att.attempts)
                     if on_result is not None:
                         on_result(att.task, payload)
                     return 1
@@ -419,6 +498,7 @@ class Supervisor:
         """
         if self.oom_action != "raise" or att.history[-1].get("kind") != "oom":
             return
+        self._note_failure(att, action="degrade")
         partial = {a.task: results[a.idx] for a in todo if a.idx in results}
         detail = ((att.history[-1]["error"] or "").strip().splitlines()
                   or ["out of memory"])[-1]
@@ -447,8 +527,10 @@ class Supervisor:
     def _reschedule(self, att, pending, fallback) -> int:
         """Queue a failed attempt for retry or the serial fallback."""
         if att.attempts >= self.retry.max_attempts:
+            self._note_failure(att, action="fallback")
             fallback.append(att)
         else:
+            self._note_failure(att, action="retry")
             att.not_before = (time.monotonic()
                               + self.retry.delay(att.attempts))
             pending.append(att)

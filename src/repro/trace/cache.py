@@ -40,14 +40,18 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 import re
 import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import TraceFormatError
+from ..obs.recorder import get_recorder
 from .io import load_npz, save_npz
 from .trace import Trace
+
+logger = logging.getLogger(__name__)
 
 try:
     import fcntl
@@ -236,6 +240,8 @@ class WorkloadTraceCache:
             os.replace(path, quarantined)
         except OSError:  # pragma: no cover - entry vanished underneath us
             quarantined = "<gone>"
+        logger.warning("quarantined corrupt trace cache entry %r -> %r "
+                       "(%s); regenerating", path, quarantined, exc)
         warnings.warn(
             f"quarantined corrupt trace cache entry {path!r} -> "
             f"{quarantined!r} ({exc}); regenerating", stacklevel=4)
@@ -249,22 +255,32 @@ class WorkloadTraceCache:
         """
         wl = self._resolve(workload)
         key = workload_cache_key(wl)
+        rec = get_recorder()
         if self._memory is not None and key in self._memory:
+            rec.metric("cache.hit", 1, key=key, where="memory")
             return self._memory[key]
         path = os.path.join(self.directory, f"{key}.npz")
-        trace = self._load_entry(path)
+        with rec.span("cache.lookup", key=key):
+            trace = self._load_entry(path)
         if trace is None:
+            rec.metric("cache.miss", 1, key=key)
+            logger.info("trace cache miss for %s; generating", key)
             os.makedirs(self.directory, exist_ok=True)
             with entry_lock(path):
                 # A concurrent holder may have generated the entry while
                 # we waited for the lock: re-check before regenerating.
                 trace = self._load_entry(path)
                 if trace is None:
-                    trace = wl.generate()
+                    with rec.span("trace.generate", key=key,
+                                  workload=getattr(wl, "label", None)) as sp:
+                        trace = wl.generate()
+                        sp.set(events=len(trace))
                     self._preflight_write(trace)
                     save_npz(trace, path)
             self._enforce_quota(protect=path)
         else:
+            rec.metric("cache.hit", 1, key=key, where="disk")
+            logger.info("trace cache hit for %s", key)
             self._touch(path)
         if self._memory is not None:
             self._memory[key] = trace

@@ -34,7 +34,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "classify", "sweep", "simulate", "table1", "table2",
             "fig5", "fig6", "validate", "generate", "attribute",
-            "traffic", "prefetch"}
+            "traffic", "prefetch", "report"}
 
 
 class TestCommands:
