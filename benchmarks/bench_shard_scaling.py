@@ -1,13 +1,23 @@
-"""Shard-scaling benchmark: one Figure-6b-style cell split by block id.
+"""Shard-scaling benchmark: single cells split along partition dimensions.
 
-The acceptance scenario for the block-sharding layer: a *single* protocol
-cell (MP3D200 at B=1024 — exactly the shape where the grid is too small to
-fill the machine) must run >= 1.8x faster with 4 shard workers than the
-serial whole-trace pass, bit-identically.  On hosts with fewer than four
-usable cores the speedup assertion is skipped (never failed), but the
-skip — with the host core count — is still recorded in
-``BENCH_throughput.json`` so the perf trajectory shows *why* the number
-is absent.  Methodology and reference numbers live in EXPERIMENTS.md.
+The acceptance scenario for the sharding layer: a *single* cell — exactly
+the shape where the grid is too small to fill the machine — must scale
+across shard workers bit-identically.  Three cells are measured, one per
+partition dimension the engine knows:
+
+* a protocol cell (MP3D200, OTF at B=1024), sharded **by block**, with
+  the original >= 1.8x 4-shard acceptance gate;
+* a Dubois classifier cell (MP3D1000 at B=64), sharded by block with no
+  sync replication, carrying the same >= 1.8x gate;
+* a finite-cache cell (MP3D200, 64 blocks 4-way at B=1024), sharded
+  **by cache set** (16 sets), asserted bit-identical with its speedup
+  recorded.
+
+On hosts with fewer than four usable cores the speedup assertions are
+skipped (never failed), but the skip — with the host core count — is
+still recorded in ``BENCH_throughput.json`` so the perf trajectory shows
+*why* the number is absent.  Methodology and reference numbers live in
+EXPERIMENTS.md.
 """
 
 import os
@@ -21,6 +31,8 @@ from repro.protocols import run_protocol
 BLOCK = 1024
 PROTOCOL = "OTF"
 CELL = ("protocol", BLOCK, PROTOCOL)
+CLASSIFY_CELL = ("classify", 64, "dubois")
+FINITE_CELL = ("finite", 1024, "c64w4")
 
 
 def _host_cores() -> int:
@@ -40,7 +52,7 @@ def _best_of(fn, rounds=3):
     return best, result
 
 
-def _timed_cell(trace, shards):
+def _timed_cell(trace, shards, cell=CELL):
     """Best-of-3 wall time of one sharded cell on a fresh engine.
 
     A fresh engine per round keeps the measurement honest: nothing is
@@ -49,40 +61,79 @@ def _timed_cell(trace, shards):
     """
     def run():
         engine = SweepEngine(trace, jobs=shards, shards=shards)
-        (result,) = engine.run_grid([CELL])
+        (result,) = engine.run_grid([cell])
         return result
 
     return _best_of(run)
 
 
-def test_shard_scaling_single_cell(bench_json, mp3d200):
-    """Scaling table shards ∈ {1, 2, 4} plus the >= 1.8x acceptance gate."""
+def _scaling_entry(trace, cell, expected, entry):
+    """Fill one BENCH entry with the shards ∈ {1, 2, 4} scaling table.
+
+    Every sharded result is asserted bit-identical to ``expected``; the
+    speedup columns of shard counts the host cannot exercise are recorded
+    as skips instead.  Returns the serial wall time.
+    """
     cores = _host_cores()
-    events = len(mp3d200)
-    expected = run_protocol(PROTOCOL, mp3d200, BLOCK)
-
-    t_serial, serial = _timed_cell(mp3d200, 1)
+    events = len(trace)
+    t_serial, serial = _timed_cell(trace, 1, cell)
     assert serial == expected
-    entry = {"workload": "MP3D200", "block_bytes": BLOCK,
-             "protocol": PROTOCOL, "events": events, "host_cores": cores,
-             "serial_sec": round(t_serial, 3),
-             "serial_events_per_sec": int(events / t_serial)}
-
+    entry.update({"events": events, "host_cores": cores,
+                  "serial_sec": round(t_serial, 3),
+                  "serial_events_per_sec": int(events / t_serial)})
     for shards in (2, 4):
         if cores < shards:
             entry[f"shards{shards}_status"] = (
                 f"skipped: host has {cores} core(s) < {shards}")
             continue
-        t, result = _timed_cell(mp3d200, shards)
+        t, result = _timed_cell(trace, shards, cell)
         assert result == expected  # bit-identical, not just faster
         entry[f"shards{shards}_sec"] = round(t, 3)
         entry[f"shards{shards}_events_per_sec"] = int(events / t)
         entry[f"shards{shards}_speedup"] = round(t_serial / t, 2)
+    return t_serial
 
-    bench_json("shard_scaling/MP3D200/B1024", **entry)
 
+def _gate_speedup(entry, label):
+    cores = _host_cores()
     if cores < 4:
         pytest.skip(f"shard speedup needs >= 4 cores, host has {cores}")
     speedup = entry["shards4_speedup"]
     assert speedup >= 1.8, (
-        f"4-shard speedup {speedup:.2f}x < 1.8x on a {cores}-core host")
+        f"4-shard {label} speedup {speedup:.2f}x < 1.8x on a "
+        f"{cores}-core host")
+
+
+def test_shard_scaling_single_cell(bench_json, mp3d200):
+    """Protocol cell by block: shards ∈ {1, 2, 4} plus the >= 1.8x gate."""
+    expected = run_protocol(PROTOCOL, mp3d200, BLOCK)
+    entry = {"workload": "MP3D200", "block_bytes": BLOCK,
+             "protocol": PROTOCOL}
+    _scaling_entry(mp3d200, CELL, expected, entry)
+    bench_json("shard_scaling/MP3D200/B1024", **entry)
+    _gate_speedup(entry, "protocol")
+
+
+def test_shard_scaling_classifier_cell(bench_json, mp3d1000):
+    """Dubois classifier cell by block: same table, same >= 1.8x gate."""
+    (expected,) = SweepEngine(mp3d1000).run_grid([CLASSIFY_CELL])
+    entry = {"workload": "MP3D1000", "block_bytes": CLASSIFY_CELL[1],
+             "classifier": "dubois", "partition_dim": "by-block"}
+    _scaling_entry(mp3d1000, CLASSIFY_CELL, expected, entry)
+    bench_json("shard_scaling/MP3D1000/classify-dubois-B64", **entry)
+    _gate_speedup(entry, "classifier")
+
+
+def test_shard_scaling_finite_cell(bench_json, mp3d200):
+    """Finite-cache cell by cache set: bit-identity plus recorded scaling.
+
+    The 16-set 4-way geometry partitions across up to 16 shards; the
+    acceptance gate rides on the protocol/classifier benches, so here the
+    speedup columns are recorded without a hard threshold.
+    """
+    (expected,) = SweepEngine(mp3d200).run_grid([FINITE_CELL])
+    entry = {"workload": "MP3D200", "block_bytes": FINITE_CELL[1],
+             "finite_spec": FINITE_CELL[2],
+             "partition_dim": "by-cache-set/16"}
+    _scaling_entry(mp3d200, FINITE_CELL, expected, entry)
+    bench_json("shard_scaling/MP3D200/finite-c64w4-B1024", **entry)

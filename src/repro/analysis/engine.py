@@ -58,12 +58,22 @@ from ..errors import (
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
 from ..obs import RunTelemetry, current_run
 from ..obs.recorder import get_recorder
+from ..protocols.finite import (
+    FiniteOTFProtocol,
+    cache_geometry,
+    finite_spec,
+    parse_finite_spec,
+)
 from ..protocols.results import ProtocolResult, merge_shard_results
 from ..protocols.runner import ALL_PROTOCOLS, make_protocol
 from ..protocols.sharding import (
+    BY_BLOCK,
     SHARDABLE_PROTOCOLS,
+    PartitionDim,
     ShardPlan,
+    by_cache_set,
     plan_shards,
+    run_finite_shard,
     run_protocol_shard,
 )
 from ..runtime.checkpoint import CheckpointJournal
@@ -92,15 +102,36 @@ CLASSIFIERS = {
     "torrellas": TorrellasClassifier,
 }
 
-# A grid cell: (kind, block_bytes, which) with kind in
-# {"classify", "compare", "protocol"} and which naming the classifier or
-# protocol ("compare" ignores it).  The two-level scheduler additionally
-# emits *shard* subtasks — ("protocol-shard"/"classify-shard", block_bytes,
-# which, plan_digest, shard_index) — whose results are per-shard partials
-# merged back into the parent cell's result.  The plan digest in the tuple
-# makes checkpoint journal keys shard-plan-aware: a resumed sweep reuses a
-# partial only under the exact same block partition.
+# A grid cell: (kind, block_bytes, which) with kind in {"classify",
+# "compare", "protocol", "finite"} and which naming the classifier,
+# protocol or finite-cache spec (``finite_spec``; "compare" ignores it).
+# The two-level scheduler additionally emits *shard* subtasks —
+# ("<kind>-shard", block_bytes, which, plan_digest, shard_index) — whose
+# results are per-shard partials merged back into the parent cell's
+# result.  The plan digest in the tuple makes checkpoint journal keys
+# shard-plan-aware: a resumed sweep reuses a partial only under the exact
+# same partition (the digest also embeds the partition dimension, so
+# by-block and by-cache-set partials can never mix).
 Cell = Tuple[str, int, Optional[str]]
+
+
+def partition_dim_for(cell: Cell) -> Optional[PartitionDim]:
+    """The partition dimension one cell (or shard subtask) shards along.
+
+    Protocol, classify and compare cells all partition ``by-block`` (the
+    classifiers reuse the protocols' dimension without sync replication);
+    finite-cache cells partition ``by-cache-set`` for their geometry.
+    Returns ``None`` for kinds that never shard.
+    """
+    kind = cell[0]
+    if kind.endswith("-shard"):
+        kind = kind[:-len("-shard")]
+    if kind == "finite":
+        capacity, ways = parse_finite_spec(cell[2])
+        return by_cache_set(cache_geometry(capacity, ways)[0])
+    if kind in ("protocol", "classify", "compare"):
+        return BY_BLOCK
+    return None
 
 
 class SharedPrecompute:
@@ -132,7 +163,7 @@ class SharedPrecompute:
         self._keep_masks: Dict[int, Optional[np.ndarray]] = {}
         self._active_rows: Dict[int, Tuple[tuple, int]] = {}
         self._segments: Optional[List] = None
-        self._shard_plans: Dict[Tuple[int, int], ShardPlan] = {}
+        self._shard_plans: Dict[Tuple[str, int, int], ShardPlan] = {}
         self._plans_by_digest: Dict[str, ShardPlan] = {}
 
     def data_rows(self) -> Tuple[list, list, list]:
@@ -230,17 +261,20 @@ class SharedPrecompute:
     # ------------------------------------------------------------------
     # shard plans (the intra-cell parallelism level)
     # ------------------------------------------------------------------
-    def shard_plan(self, block_map: BlockMap, num_shards: int) -> ShardPlan:
-        """Balanced block partition for one block size (built once, cached).
+    def shard_plan(self, block_map: BlockMap, num_shards: int,
+                   dim: PartitionDim = BY_BLOCK) -> ShardPlan:
+        """Balanced partition for one (block size, dimension), cached.
 
         Plans are built in the parent before workers fork, so every shard
         worker of a cell inherits the same partition and resolves it by
-        digest without recomputation or serialization.
+        digest without recomputation or serialization.  Cells sharing a
+        dimension share one plan per block size (protocol and classifier
+        cells both partition ``by-block``).
         """
-        key = (block_map.offset_bits, num_shards)
+        key = (dim.name, block_map.offset_bits, num_shards)
         if key not in self._shard_plans:
             plan = plan_shards(self.data.block_ids(block_map.offset_bits),
-                               block_map.offset_bits, num_shards)
+                               block_map.offset_bits, num_shards, dim=dim)
             self._shard_plans[key] = plan
             self._plans_by_digest[plan.digest] = plan
         return self._shard_plans[key]
@@ -311,40 +345,89 @@ class SharedPrecompute:
                                  BlockMap(block_bytes))
         return protocol.run(self.trace)
 
+    def run_finite(self, spec: str, block_bytes: int) -> ProtocolResult:
+        """Run one finite-cache cell (``finite_spec`` geometry) serially."""
+        capacity, ways = parse_finite_spec(spec)
+        protocol = FiniteOTFProtocol(self.trace.num_procs,
+                                     BlockMap(block_bytes), capacity,
+                                     ways=ways)
+        return protocol.run(self.trace)
+
     def run_protocol_shard(self, name: str, block_bytes: int,
                            digest: str, shard: int) -> ProtocolResult:
         """Run one protocol over one block shard (a partial result)."""
         return run_protocol_shard(name, self.trace, block_bytes,
                                   self.plan_by_digest(digest), shard)
 
-    def run_classifier_shard(self, which: str, block_bytes: int,
-                             digest: str, shard: int) -> DuboisBreakdown:
-        """Run the Dubois classifier over one block shard.
+    def run_finite_shard(self, spec: str, block_bytes: int,
+                         digest: str, shard: int) -> ProtocolResult:
+        """Run the finite cache over one ``by-cache-set`` shard (partial)."""
+        capacity, ways = parse_finite_spec(spec)
+        return run_finite_shard(self.trace, block_bytes, capacity,
+                                self.plan_by_digest(digest), shard,
+                                ways=ways)
 
-        The classifier ignores synchronization events, so the shard feed is
-        exactly the shard's data rows (no sync replication), composed with
-        the no-op read elision mask; the shard's own elided rows are
-        re-added to ``data_refs`` so partials sum to the full count.
+    def run_classifier_shard(self, which: str, block_bytes: int,
+                             digest: str, shard: int
+                             ) -> Union[DuboisBreakdown, SimpleBreakdown]:
+        """Run one classifier over one block shard (a partial result).
+
+        All three classifiers ignore synchronization events, so the shard
+        feed is exactly the shard's data rows (no sync replication).  The
+        Dubois feed additionally composes with the no-op read elision
+        mask; the shard's own elided rows are re-added to ``data_refs`` so
+        partials sum to the full count.
         """
-        if which != "dubois":
+        if which not in CLASSIFIERS:
             raise ConfigError(
                 f"classifier {which!r} is not block-shardable")
         block_map = BlockMap(block_bytes)
         plan = self.plan_by_digest(digest)
         blocks = self.data.block_ids(block_map.offset_bits)
         sel = plan.shard_of_rows(blocks) == shard
-        dropped = 0
-        keep = self.dubois_keep_mask(block_map)
-        if keep is not None:
-            dropped = int((sel & ~keep).sum())
-            sel &= keep
         clf = CLASSIFIERS[which](self.trace.num_procs, block_map)
-        clf.feed_data(self.data.proc[sel].tolist(),
-                      self.data.op[sel].tolist(),
-                      self.data.addr[sel].tolist(),
-                      blocks[sel].tolist())
-        return dataclasses.replace(clf.finish(),
-                                   data_refs=clf.data_refs + dropped)
+        if which == "dubois":
+            dropped = 0
+            keep = self.dubois_keep_mask(block_map)
+            if keep is not None:
+                dropped = int((sel & ~keep).sum())
+                sel &= keep
+            clf.feed_data(self.data.proc[sel].tolist(),
+                          self.data.op[sel].tolist(),
+                          self.data.addr[sel].tolist(),
+                          blocks[sel].tolist())
+            return dataclasses.replace(clf.finish(),
+                                       data_refs=clf.data_refs + dropped)
+        procs = self.data.proc[sel].tolist()
+        ops = self.data.op[sel].tolist()
+        addrs = self.data.addr[sel].tolist()
+        blks = blocks[sel].tolist()
+        if which == "eggers":
+            offsets = self.data.word_offsets(
+                block_map.words_per_block)[sel].tolist()
+            clf.feed_data(procs, ops, addrs, blks, [1 << o for o in offsets])
+        else:
+            clf.feed_data(procs, ops, addrs, blks)
+        return clf.finish()
+
+    def run_comparison_shard(self, block_bytes: int, digest: str,
+                             shard: int) -> ClassificationComparison:
+        """Run all three classifiers over one block shard (partial).
+
+        Mirrors :meth:`run_comparison` per shard — one shared shard
+        selection, three state machines — so per-shard comparisons merge
+        (``+``) to the serial cell bit-identically.
+        """
+        return ClassificationComparison(
+            trace_name=self.trace.name or "<anonymous>",
+            block_bytes=block_bytes,
+            ours=self.run_classifier_shard("dubois", block_bytes,
+                                           digest, shard),
+            eggers=self.run_classifier_shard("eggers", block_bytes,
+                                             digest, shard),
+            torrellas=self.run_classifier_shard("torrellas", block_bytes,
+                                                digest, shard),
+        )
 
     def run_cell(self, cell: Cell):
         """Dispatch one cell (or shard subtask), timed as a telemetry span.
@@ -361,6 +444,11 @@ class SharedPrecompute:
             return self._dispatch_cell(cell)
         kind = cell[0]
         name = "shard.run" if kind.endswith("-shard") else "cell.run"
+        try:
+            dim = partition_dim_for(cell)
+        except ConfigError:  # malformed spec: the dispatch will raise too
+            dim = None
+        dim_name = dim.name if dim is not None else None
         rows = len(self.data.proc)
         if name == "shard.run":
             try:
@@ -373,10 +461,12 @@ class SharedPrecompute:
             result = self._dispatch_cell(cell)
         except BaseException:
             rec.span_complete(name, time.monotonic() - t0, status="error",
-                              t=wall, cell=list(cell), rows=rows)
+                              t=wall, cell=list(cell), rows=rows,
+                              partition_dim=dim_name)
             raise
         dur = time.monotonic() - t0
-        rec.span_complete(name, dur, t=wall, cell=list(cell), rows=rows)
+        rec.span_complete(name, dur, t=wall, cell=list(cell), rows=rows,
+                          partition_dim=dim_name)
         rec.metric("cell.rows", rows, cell=list(cell))
         if dur > 0:
             rec.metric("cell.events_per_sec", round(rows / dur, 1),
@@ -391,12 +481,19 @@ class SharedPrecompute:
             return self.run_comparison(block_bytes)
         if kind == "protocol":
             return self.run_protocol(which, block_bytes)
+        if kind == "finite":
+            return self.run_finite(which, block_bytes)
         if kind == "protocol-shard":
             return self.run_protocol_shard(which, block_bytes,
                                            cell[3], cell[4])
         if kind == "classify-shard":
             return self.run_classifier_shard(which, block_bytes,
                                              cell[3], cell[4])
+        if kind == "compare-shard":
+            return self.run_comparison_shard(block_bytes, cell[3], cell[4])
+        if kind == "finite-shard":
+            return self.run_finite_shard(which, block_bytes,
+                                         cell[3], cell[4])
         raise ConfigError(f"unknown grid cell kind {kind!r}")
 
 
@@ -486,8 +583,10 @@ class SweepEngine:
     fault_plan:
         Deterministic :class:`~repro.runtime.faults.FaultPlan` (tests).
     shards:
-        Intra-cell block shards per shardable cell (protocol cells and
-        Dubois classify cells).  ``None`` or ``0`` (default) is automatic:
+        Intra-cell shards per shardable cell (protocol, classify, compare
+        and multi-set finite cells, each along its partition dimension —
+        see :func:`partition_dim_for`).  ``None`` or ``0`` (default) is
+        automatic:
         the two-level scheduler keeps plain grid fan-out while there are
         at least as many cells as jobs, and splits the spare workers into
         ``ceil(jobs / cells)`` shards per cell when the grid is smaller
@@ -615,15 +714,30 @@ class SweepEngine:
 
     @staticmethod
     def _shardable(cell: Cell) -> bool:
-        """True for cells whose state is per-(block, processor)."""
+        """True for cells legal along some partition dimension.
+
+        Protocol, classify and compare cells shard ``by-block``; finite
+        cells shard ``by-cache-set`` when their geometry has more than one
+        set (a fully-associative cache is one unit and cannot split).
+        """
         kind, _, which = cell[:3]
         if kind == "protocol":
             return which in SHARDABLE_PROTOCOLS
-        return kind == "classify" and which == "dubois"
+        if kind == "classify":
+            return which in CLASSIFIERS
+        if kind == "compare":
+            return True
+        if kind == "finite":
+            try:
+                capacity, ways = parse_finite_spec(which)
+            except ConfigError:
+                return False
+            return cache_geometry(capacity, ways)[0] > 1
+        return False
 
     def _merge_cell(self, cell: Cell, parts: List):
         """Merge one cell's per-shard partials into its full result."""
-        if cell[0] == "protocol":
+        if cell[0] in ("protocol", "finite"):
             return merge_shard_results(parts)
         merged = parts[0]
         for part in parts[1:]:
@@ -768,7 +882,8 @@ class SweepEngine:
                 continue
             plan = None
             if shards > 1 and self._shardable(cell):
-                plan = pre.shard_plan(BlockMap(cell[1]), shards)
+                plan = pre.shard_plan(BlockMap(cell[1]), shards,
+                                      dim=partition_dim_for(cell))
             if plan is not None and plan.num_shards > 1:
                 kind, bb, which = cell[:3]
                 groups[cell] = [(f"{kind}-shard", bb, which, plan.digest, s)
@@ -800,8 +915,18 @@ class SweepEngine:
 
         if jobs > 1:
             # Warm the shared state in the parent so every forked worker
-            # inherits it instead of re-deriving it per process.
+            # inherits it instead of re-deriving it per process.  The
+            # Dubois keep mask matters most: it is an O(n log n) pass per
+            # block size that every classify/compare shard of a cell
+            # would otherwise redo, erasing the shard speedup.
             pre.data_rows()
+            for task in tasks:
+                base = task[0]
+                if base.endswith("-shard"):
+                    base = base[:-len("-shard")]
+                if base == "compare" or (base == "classify"
+                                         and task[2] == "dubois"):
+                    pre.dubois_keep_mask(BlockMap(task[1]))
         supervisor = Supervisor(pre.run_cell, jobs=jobs, retry=self.retry,
                                 timeout=self.timeout,
                                 fault_plan=self.fault_plan,
@@ -926,3 +1051,17 @@ class SweepEngine:
         results = self.run_grid(cells)
         return {(bb, name): result
                 for (_, bb, name), result in zip(cells, results)}
+
+    def finite_sweep(self, capacities: Sequence[int], *,
+                     block_bytes: int = 16, ways: Optional[int] = None
+                     ) -> Dict[int, ProtocolResult]:
+        """Section 8.0 extension: finite-cache cells across capacities.
+
+        Multi-set geometries (``ways`` set and smaller than capacity)
+        shard ``by-cache-set`` under the two-level scheduler exactly like
+        protocol cells shard by block.
+        """
+        caps = tuple(capacities)
+        cells = [("finite", block_bytes, finite_spec(c, ways))
+                 for c in caps]
+        return dict(zip(caps, self.run_grid(cells)))

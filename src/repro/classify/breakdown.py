@@ -159,6 +159,15 @@ class SimpleBreakdown:
         return {"CM": self.cold, "TSM": self.true_sharing,
                 "FSM": self.false_sharing, "data_refs": self.data_refs}
 
+    def __add__(self, other: "SimpleBreakdown") -> "SimpleBreakdown":
+        """Merge shard partials: every count is a per-block sum."""
+        if not isinstance(other, SimpleBreakdown):
+            return NotImplemented
+        return SimpleBreakdown(self.cold + other.cold,
+                               self.true_sharing + other.true_sharing,
+                               self.false_sharing + other.false_sharing,
+                               self.data_refs + other.data_refs)
+
     def describe(self) -> str:
         return (f"refs={self.data_refs} misses={self.total} "
                 f"(rate {self.miss_rate:.2f}%) | CM={self.cold} "

@@ -46,6 +46,28 @@ class ClassificationComparison:
             "PFS-Torrellas": self.torrellas.false_sharing,
         }
 
+    def __add__(self, other: "ClassificationComparison") -> "ClassificationComparison":
+        """Merge shard partials of one (trace, block size) comparison.
+
+        All three schemes keep state per block (or per word, and a word
+        belongs to one block), so the counts of a block partition sum to
+        the whole-trace counts; the identity attributes must agree.
+        """
+        if not isinstance(other, ClassificationComparison):
+            return NotImplemented
+        if (self.trace_name != other.trace_name
+                or self.block_bytes != other.block_bytes):
+            raise ValueError(
+                f"cannot merge comparison shards of different cells: "
+                f"({self.trace_name}, {self.block_bytes}) vs "
+                f"({other.trace_name}, {other.block_bytes})")
+        return ClassificationComparison(
+            trace_name=self.trace_name,
+            block_bytes=self.block_bytes,
+            ours=self.ours + other.ours,
+            eggers=self.eggers + other.eggers,
+            torrellas=self.torrellas + other.torrellas)
+
     @property
     def essential_rate_gap(self) -> float:
         """Eggers' (CM+TSM) rate minus ours — the misestimation the paper

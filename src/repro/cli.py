@@ -3,6 +3,7 @@
 Commands
 --------
 classify    Classify a trace (file or named workload) at one block size.
+compare     Run all three classifiers over one (trace, block size) cell.
 sweep       Figure 5: classification vs block size for one workload.
 simulate    Run one or all protocols over a workload at one block size.
 table1      Reproduce Table 1 (three-way classifier comparison).
@@ -35,9 +36,7 @@ from .analysis.tables import (
     format_table1,
     format_table2,
 )
-from .classify.dubois import DuboisClassifier
 from .errors import ReproError
-from .mem.addresses import BlockMap
 from .protocols.runner import protocol_names, run_protocol, run_protocols
 from .trace import io as trace_io
 from .trace.cache import WorkloadTraceCache, default_cache_dir
@@ -106,9 +105,28 @@ def _suite_traces(which: str, cache: "WorkloadTraceCache | None"):
 
 
 def _cmd_classify(args) -> int:
-    trace = _load_trace(args.trace)
-    breakdown = DuboisClassifier.classify_trace(trace, BlockMap(args.block))
+    from .analysis.engine import ExecutionOptions, SweepEngine
+
+    trace = _load_trace(args.trace, _trace_cache(args))
+    options = _engine_options(args) or ExecutionOptions()
+    engine = SweepEngine(trace, jobs=args.jobs, **options.engine_kwargs())
+    (breakdown,) = engine.run_grid([("classify", args.block,
+                                     args.classifier)])
     print(f"{trace.name} @ B={args.block}: {breakdown.describe()}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .analysis.engine import ExecutionOptions, SweepEngine
+
+    trace = _load_trace(args.trace, _trace_cache(args))
+    options = _engine_options(args) or ExecutionOptions()
+    engine = SweepEngine(trace, jobs=args.jobs, **options.engine_kwargs())
+    (cmp,) = engine.run_grid([("compare", args.block, None)])
+    print(f"{trace.name} @ B={args.block}")
+    print(f"  dubois    : {cmp.ours.describe()}")
+    print(f"  eggers    : {cmp.eggers.describe()}")
+    print(f"  torrellas : {cmp.torrellas.describe()}")
     return 0
 
 
@@ -120,7 +138,25 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    if args.ways is not None and args.capacity_blocks is None:
+        raise ReproError("--ways requires --capacity-blocks")
     trace = _load_trace(args.trace, _trace_cache(args))
+    if args.capacity_blocks is not None:
+        if args.protocol not in (None, "OTF"):
+            raise ReproError(
+                "finite caches simulate the OTF protocol; drop "
+                "--protocol or pass --protocol OTF")
+        from .analysis.engine import ExecutionOptions, SweepEngine
+        from .protocols.finite import finite_spec
+
+        options = _engine_options(args) or ExecutionOptions()
+        engine = SweepEngine(trace, jobs=args.jobs,
+                             **options.engine_kwargs())
+        cell = ("finite", args.block,
+                finite_spec(args.capacity_blocks, args.ways))
+        (result,) = engine.run_grid([cell])
+        print(result.describe())
+        return 0
     names = [args.protocol] if args.protocol else None
     results = run_protocols(trace, args.block, names, jobs=args.jobs,
                             options=_engine_options(args))
@@ -259,10 +295,12 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                    help="fail on a post-cell invariant violation instead "
                         "of warning")
     p.add_argument("--shards", type=int, default=None, metavar="P",
-                   help="block shards per protocol/classifier cell "
-                        "(1 = never shard; 0 = automatic: split spare "
-                        "workers when the grid has fewer cells than jobs, "
-                        "which is also the default)")
+                   help="intra-cell shards per shardable cell, along each "
+                        "cell's partition dimension (by block for "
+                        "protocol/classifier/compare cells, by cache set "
+                        "for finite caches; 1 = never shard; 0 = "
+                        "automatic: split spare workers when the grid has "
+                        "fewer cells than jobs, which is also the default)")
     p.add_argument("--memory-budget", type=_size, default=None,
                    metavar="SIZE",
                    help="total memory budget for the sweep (e.g. 512M, "
@@ -299,7 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="classify a trace at one block size")
     p.add_argument("trace", help="named workload or trace file")
     p.add_argument("--block", type=int, default=64, help="block size in bytes")
+    p.add_argument("--classifier", default="dubois",
+                   choices=("dubois", "eggers", "torrellas"),
+                   help="classification scheme (default: dubois)")
+    _add_engine_args(p)
     p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("compare", help="run all three classifiers over one "
+                                       "(trace, block size) cell")
+    p.add_argument("trace", help="named workload or trace file")
+    p.add_argument("--block", type=int, default=64, help="block size in bytes")
+    _add_engine_args(p)
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("sweep", help="Figure 5 sweep for one trace")
     p.add_argument("trace")
@@ -311,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block", type=int, default=64)
     p.add_argument("--protocol", choices=protocol_names(),
                    help="one protocol (default: all)")
+    p.add_argument("--capacity-blocks", type=int, default=None, metavar="N",
+                   help="simulate OTF with finite per-processor caches of "
+                        "N blocks (paper section 8.0 replacement misses); "
+                        "multi-set geometries shard by cache set under "
+                        "--jobs/--shards")
+    p.add_argument("--ways", type=int, default=None, metavar="W",
+                   help="cache associativity: W-way sets, N/W sets total "
+                        "(requires --capacity-blocks; default: fully "
+                        "associative)")
     _add_engine_args(p)
     p.set_defaults(func=_cmd_simulate)
 

@@ -94,8 +94,8 @@ class _CellStats:
 
     __slots__ = ("trace_key", "cell", "status", "duration_s", "rows",
                  "attempts", "failed_attempts", "shards", "plan_digest",
-                 "predicted_bytes", "observed_rss_kb", "result_sha256",
-                 "order")
+                 "partition_dim", "predicted_bytes", "observed_rss_kb",
+                 "result_sha256", "order")
 
     def __init__(self, trace_key: str, cell: Tuple, order: int):
         self.trace_key = trace_key
@@ -107,6 +107,7 @@ class _CellStats:
         self.failed_attempts = 0
         self.shards = 0
         self.plan_digest: Optional[str] = None
+        self.partition_dim: Optional[str] = None
         self.predicted_bytes: Optional[int] = None
         self.observed_rss_kb: Optional[int] = None
         self.result_sha256: Optional[str] = None
@@ -126,6 +127,7 @@ class _CellStats:
                                if self.duration_s > 0 and self.rows else None),
             "shards": self.shards,
             "plan_digest": self.plan_digest,
+            "partition_dim": self.partition_dim,
             "predicted_bytes": self.predicted_bytes,
             "observed_rss_kb": self.observed_rss_kb,
             "result_sha256": self.result_sha256,
@@ -307,6 +309,8 @@ class RunTelemetry:
         if cell is None or record.get("status") != "ok":
             return
         stats = self._stats(self._current_trace_key, cell)
+        if attrs.get("partition_dim"):
+            stats.partition_dim = attrs["partition_dim"]
         if name == "shard.run":
             stats.duration_s += float(record.get("dur_s", 0.0))
             stats.rows += int(attrs.get("rows", 0) or 0)

@@ -3,7 +3,12 @@
 plus the finite-cache extension.  See paper section 4.0."""
 
 from .base import PROTOCOL_REGISTRY, Protocol, register
-from .finite import FiniteOTFProtocol
+from .finite import (
+    FiniteOTFProtocol,
+    cache_geometry,
+    finite_spec,
+    parse_finite_spec,
+)
 from .lifetime import LifetimeTracker
 from .maxsched import MAXSchedule
 from .min_wt import MINProtocol
@@ -20,10 +25,15 @@ from .runner import (
 )
 from .sd import SDProtocol
 from .sharding import (
+    BY_BLOCK,
     SHARDABLE_PROTOCOLS,
+    PartitionDim,
     ShardPlan,
+    by_cache_set,
     plan_for_trace,
     plan_shards,
+    run_finite_shard,
+    run_finite_sharded,
     run_protocol_shard,
     run_protocol_sharded,
     shard_subtrace,
@@ -36,7 +46,9 @@ from .wbwi import WBWIProtocol
 
 __all__ = [
     "ALL_PROTOCOLS",
+    "BY_BLOCK",
     "Counters",
+    "PartitionDim",
     "SHARDABLE_PROTOCOLS",
     "ShardPlan",
     "FiniteOTFProtocol",
@@ -56,7 +68,11 @@ __all__ = [
     "TrafficModel",
     "WBWIProtocol",
     "WUProtocol",
+    "by_cache_set",
+    "cache_geometry",
     "estimate_traffic",
+    "finite_spec",
+    "parse_finite_spec",
     "traffic_per_reference",
     "make_protocol",
     "merge_shard_results",
@@ -64,6 +80,8 @@ __all__ = [
     "plan_shards",
     "protocol_names",
     "register",
+    "run_finite_shard",
+    "run_finite_sharded",
     "run_protocol",
     "run_protocol_grid",
     "run_protocol_shard",

@@ -1,47 +1,66 @@
-"""Block-sharded execution of one protocol or classifier run.
+"""Partition-dimension sharding of one protocol or classifier run.
 
 The sweep engine parallelizes the *grid* (block size × protocol), but each
 cell is one sequential pass over the whole trace, so a lone Figure-6b cell
 on the paper-large suite uses one core no matter how many ``--jobs`` are
 given.  This module supplies the missing level of parallelism: one cell is
-split across worker processes *by block id*.
+split across worker processes along a :class:`PartitionDim` — a choice of
+*partition unit* per event row plus the legality contract that makes
+independent simulation of the units sound.
 
-Why this is legal
------------------
-Every protocol in the paper's line-up (MIN, OTF, RD, SD, SRD, WBWI, MAX)
-and the Appendix A classifier keep all their mutable state per
-(block, processor) — validity masks, ownership, word-invalidation buffers,
-per-block store-buffer entries, lifetime trackers, word versions (a word
-belongs to exactly one block).  No handler ever couples two different
-blocks, so the blocks of a trace can be simulated independently, provided
-each shard still sees the events that drive *schedule points*:
+Dimensions and their legality contracts
+---------------------------------------
+``by-block`` (:data:`BY_BLOCK`) — unit = block id.
+    Every protocol in the paper's line-up (MIN, OTF, RD, SD, SRD, WBWI,
+    MAX) and all three classifiers (Dubois Appendix A, Eggers, Torrellas)
+    keep all mutable state per (block, processor) — validity masks,
+    ownership, word-invalidation buffers, per-block store-buffer entries,
+    lifetime trackers, word versions (a word belongs to exactly one
+    block).  No handler ever couples two different blocks, so the blocks
+    of a trace can be simulated independently, provided each shard still
+    sees the events that drive *schedule points*:
 
-* ACQUIRE events apply RD/SRD's buffered invalidations and
-* RELEASE events flush SD/SRD's store buffers and bound MAX's
-  adversarial delivery windows,
+    * ACQUIRE events apply RD/SRD's buffered invalidations and
+    * RELEASE events flush SD/SRD's store buffers and bound MAX's
+      adversarial delivery windows,
 
-and both act on every block the processor holds.  A shard therefore runs
-over a sub-trace holding **its blocks' data rows plus every ACQUIRE and
-RELEASE row of the whole trace**, in original interleaved order.  The
-index mapping from the full trace into a shard sub-trace is strictly
-monotonic, and every protocol compares event positions only by order
-(never by absolute distance), so each per-(block, processor) state machine
-takes exactly the transitions it takes in the whole-trace run.
+    and both act on every block the processor holds.  A protocol shard
+    therefore runs over a sub-trace holding **its blocks' data rows plus
+    every ACQUIRE and RELEASE row of the whole trace**
+    (``replicate_sync=True``), in original interleaved order.  The index
+    mapping from the full trace into a shard sub-trace is strictly
+    monotonic, and every protocol compares event positions only by order
+    (never by absolute distance), so each per-(block, processor) state
+    machine takes exactly the transitions it takes in the whole-trace
+    run.  The classifiers ignore sync events entirely, so a classifier
+    shard reuses the *same* ``by-block`` plan but feeds only the shard's
+    data rows (:func:`partition_indices`).
 
-Merging is plain addition: every :class:`~repro.protocols.results.Counters`
-field is incremented for events attributable to a single (processor,
-block) pair — MIN's ``write_throughs`` count stores (a store hits one
-block), SD/SRD's ``stores_buffered``/``stores_combined`` count per-(proc,
-block) buffer entries — so per-shard counters sum to the whole-trace
-counters exactly (asserted by the equivalence tests).  What is *not*
-modeled cross-shard is per-processor store-buffer **occupancy** (how many
-blocks one processor has buffered at an instant, across blocks); no
-current counter depends on it, and :func:`merge_shard_results` documents
-the constraint for future ones.
+``by-cache-set`` (:func:`by_cache_set`) — unit = ``block % num_sets``.
+    The set-associative :class:`~repro.protocols.finite.FiniteOTFProtocol`
+    adds one coupling the infinite protocols lack: LRU replacement ties
+    together all blocks that map to the same cache set.  Partitioning by
+    *set index* restores independence — a set's LRU order, valid bits,
+    replaced-set and lifetime state are all reachable only from blocks of
+    that set, so disjoint set groups never interact.  OTF's sync handlers
+    are no-ops (``on_acquire``/``on_release`` inherit the base-class
+    defaults), so ``by-cache-set`` shards need **no sync replication**
+    (``replicate_sync=False``): a shard is exactly its sets' data rows.
+    The fully-associative degenerate case (``num_sets == 1``) has a
+    single unit and therefore correctly refuses to split.
 
-The finite-cache extension (:class:`~repro.protocols.finite.
-FiniteOTFProtocol`) is **not** shardable: LRU replacement couples all
-blocks that map to a cache set.  It is not in :data:`SHARDABLE_PROTOCOLS`.
+Merging is plain addition along every dimension: every
+:class:`~repro.protocols.results.Counters` field is incremented for events
+attributable to a single (processor, block) pair — MIN's
+``write_throughs`` count stores (a store hits one block), SD/SRD's
+``stores_buffered``/``stores_combined`` count per-(proc, block) buffer
+entries, the finite cache's ``replacements`` count per-(proc, set)
+evictions — so per-shard counters sum to the whole-trace counters exactly
+(asserted by the equivalence tests).  What is *not* modeled cross-shard is
+per-processor store-buffer **occupancy** (how many blocks one processor
+has buffered at an instant, across blocks); no current counter depends on
+it, and :func:`merge_shard_results` documents the constraint for future
+ones.
 """
 
 from __future__ import annotations
@@ -58,18 +77,87 @@ from ..mem.addresses import BlockMap
 from ..trace.trace import Trace
 
 #: Protocols whose state is fully per-(block, processor) and may be
-#: block-sharded.  Everything in the public registry qualifies; the
-#: finite-cache and sector extensions (unregistered) do not.
+#: sharded along the ``by-block`` dimension.  Everything in the public
+#: registry qualifies.  The finite-cache extension is *not* here because
+#: its legal dimension is ``by-cache-set`` (LRU couples the blocks of a
+#: set); the sweep engine selects that dimension for ``finite`` cells
+#: instead.  The sector extension remains unsharded.
 SHARDABLE_PROTOCOLS = frozenset(
     {"MIN", "OTF", "RD", "SD", "SRD", "WBWI", "MAX", "WU", "CU"})
 
 
 @dataclasses.dataclass(frozen=True)
-class ShardPlan:
-    """A deterministic partition of one trace's blocks into shards.
+class PartitionDim:
+    """One partition dimension: unit ids per row + legality contract.
 
-    Built once per (trace, block size, shard count) by :func:`plan_shards`
-    and shared (fork-inherited) by every shard worker of a cell.
+    A dimension maps each data row's block id to a *partition unit* id;
+    rows whose units land in different shards must be simulatable
+    independently (the module docstring argues legality per instance).
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; embedded in :class:`ShardPlan` digests so a
+        resumed sweep can never mix plans from different dimensions.
+    replicate_sync:
+        Whether shard sub-traces must replicate every ACQUIRE/RELEASE row
+        (required when sync events drive per-processor schedule points
+        across all held blocks; unnecessary when the simulated model
+        ignores sync).
+    num_sets:
+        For ``by-cache-set``: the modulus mapping blocks to sets.  ``0``
+        means the identity mapping (``by-block``).
+    legality:
+        One-line statement of why units partition independently.
+    """
+
+    name: str
+    replicate_sync: bool
+    num_sets: int = 0
+    legality: str = ""
+
+    def unit_of_rows(self, block_ids: np.ndarray) -> np.ndarray:
+        """Partition-unit id per row, given the rows' block ids."""
+        blocks = np.asarray(block_ids, dtype=np.int64)
+        if self.num_sets:
+            return blocks % self.num_sets
+        return blocks
+
+
+#: Unit = block id; sync rows replicated into every shard.  Legal for all
+#: registered protocols (state per (block, processor), sync acts by order)
+#: and, reused without sync replication via :func:`partition_indices`, for
+#: the Dubois/Eggers/Torrellas classifiers (state per block or per word,
+#: and a word belongs to exactly one block).
+BY_BLOCK = PartitionDim(
+    name="by-block", replicate_sync=True, num_sets=0,
+    legality="all protocol/classifier state is per (block, processor); "
+             "sync events act on every shard identically by order")
+
+
+def by_cache_set(num_sets: int) -> PartitionDim:
+    """Unit = ``block % num_sets``; no sync replication.
+
+    Legal for the set-associative finite cache: LRU couples blocks only
+    within a set, and OTF ignores sync events.  ``num_sets == 1`` (fully
+    associative) yields a single unit, so plans clamp to one shard.
+    """
+    if num_sets < 1:
+        raise ConfigError(f"num_sets must be positive, got {num_sets}")
+    return PartitionDim(
+        name=f"by-cache-set/{num_sets}", replicate_sync=False,
+        num_sets=num_sets,
+        legality="LRU replacement couples blocks only within one set; "
+                 "OTF sync handlers are no-ops")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of one trace's units into shards.
+
+    Built once per (trace, block size, shard count, dimension) by
+    :func:`plan_shards` and shared (fork-inherited) by every shard worker
+    of a cell.
 
     Parameters
     ----------
@@ -77,17 +165,23 @@ class ShardPlan:
         The block-size configuration the plan was computed for (block ids
         are ``addr >> offset_bits``).
     num_shards:
-        Number of shards; at most the number of distinct blocks.
+        Number of shards; at most the number of distinct units.
     unique_blocks:
-        Sorted distinct block ids of the trace's data rows.
+        Sorted distinct partition-unit ids of the trace's data rows
+        (block ids for ``by-block``, set indices for ``by-cache-set``;
+        the field name predates the dimension layer and is kept for
+        compatibility).
     assignment:
         Shard index per entry of ``unique_blocks``.
     shard_events:
         Data-event count per shard (the balancing objective).
     digest:
-        Stable content hash of the full assignment.  Checkpoint journal
-        keys of per-shard results embed this digest, so a resumed sweep
-        can never mix partial results from two different shard plans.
+        Stable content hash of the dimension plus the full assignment.
+        Checkpoint journal keys of per-shard results embed this digest,
+        so a resumed sweep can never mix partial results from two
+        different shard plans — or two different partition dimensions.
+    dim:
+        The :class:`PartitionDim` the plan partitions along.
     """
 
     offset_bits: int
@@ -96,6 +190,7 @@ class ShardPlan:
     assignment: np.ndarray
     shard_events: Tuple[int, ...]
     digest: str
+    dim: PartitionDim = BY_BLOCK
 
     def shard_of_rows(self, block_ids: np.ndarray) -> np.ndarray:
         """Shard index per row, given the rows' block ids (vectorized).
@@ -104,7 +199,8 @@ class ShardPlan:
         """
         if len(self.unique_blocks) == 0:
             return np.zeros(len(block_ids), dtype=np.int64)
-        pos = np.searchsorted(self.unique_blocks, block_ids)
+        units = self.dim.unit_of_rows(block_ids)
+        pos = np.searchsorted(self.unique_blocks, units)
         return self.assignment[np.minimum(pos, len(self.assignment) - 1)]
 
     @property
@@ -121,28 +217,30 @@ class ShardPlan:
         lo = min(self.shard_events) if self.shard_events else 0
         hi = self.max_shard_events
         return (f"ShardPlan({self.num_shards} shards over "
-                f"{len(self.unique_blocks)} blocks, "
+                f"{len(self.unique_blocks)} {self.dim.name} units, "
                 f"{lo}..{hi} events/shard, digest {self.digest})")
 
 
 def plan_shards(data_block_ids: np.ndarray, offset_bits: int,
-                num_shards: int) -> ShardPlan:
-    """Partition blocks into ``num_shards`` shards balanced by event count.
+                num_shards: int, *, dim: PartitionDim = BY_BLOCK) -> ShardPlan:
+    """Partition units into ``num_shards`` shards balanced by event count.
 
-    Longest-processing-time greedy: blocks are taken heaviest first (ties
-    by ascending block id, so the plan is deterministic) and assigned to
+    Block ids are first mapped to partition units via ``dim`` (identity
+    for ``by-block``, ``block % num_sets`` for ``by-cache-set``).
+    Longest-processing-time greedy: units are taken heaviest first (ties
+    by ascending unit id, so the plan is deterministic) and assigned to
     the currently lightest shard.  The shard count is clamped to the
-    number of distinct blocks — one block cannot be split.
+    number of distinct units — one unit cannot be split.
     """
     if num_shards < 1:
         raise ConfigError(f"num_shards must be positive, got {num_shards}")
-    unique, counts = np.unique(np.asarray(data_block_ids, dtype=np.int64),
-                               return_counts=True)
+    units = dim.unit_of_rows(np.asarray(data_block_ids, dtype=np.int64))
+    unique, counts = np.unique(units, return_counts=True)
     num_shards = min(num_shards, max(1, len(unique)))
     assignment = np.zeros(len(unique), dtype=np.int64)
     loads = [0] * num_shards
     if num_shards > 1:
-        # argsort on (-count, block) pairs: heaviest first, stable by id.
+        # argsort on (-count, unit) pairs: heaviest first, stable by id.
         order = np.lexsort((unique, -counts))
         heap = [(0, s) for s in range(num_shards)]
         for u in order:
@@ -154,30 +252,35 @@ def plan_shards(data_block_ids: np.ndarray, offset_bits: int,
     else:
         loads[0] = int(counts.sum())
     h = hashlib.sha1()
-    h.update(f"v1|{offset_bits}|{num_shards}|{len(unique)}|".encode())
+    h.update(f"v2|{dim.name}|{offset_bits}|{num_shards}|"
+             f"{len(unique)}|".encode())
     h.update(np.ascontiguousarray(unique).tobytes())
     h.update(np.ascontiguousarray(assignment).tobytes())
     return ShardPlan(offset_bits=offset_bits, num_shards=num_shards,
                      unique_blocks=unique, assignment=assignment,
-                     shard_events=tuple(loads), digest=h.hexdigest()[:16])
+                     shard_events=tuple(loads), digest=h.hexdigest()[:16],
+                     dim=dim)
 
 
-def plan_for_trace(trace: Trace, block_map: BlockMap,
-                   num_shards: int) -> ShardPlan:
+def plan_for_trace(trace: Trace, block_map: BlockMap, num_shards: int,
+                   *, dim: PartitionDim = BY_BLOCK) -> ShardPlan:
     """Build a :class:`ShardPlan` for one trace at one block size."""
     cols = trace.columns()
     data_blocks = cols.block_ids(block_map.offset_bits)[cols.data_mask()]
-    return plan_shards(data_blocks, block_map.offset_bits, num_shards)
+    return plan_shards(data_blocks, block_map.offset_bits, num_shards,
+                       dim=dim)
 
 
 def shard_subtrace(trace: Trace, plan: ShardPlan, shard: int) -> Trace:
     """One shard's event subsequence as a :class:`Trace`.
 
-    Selects the shard's data rows **plus all ACQUIRE/RELEASE rows** (sync
-    events drive SD/SRD flushes, RD/SRD apply points and MAX deadlines for
-    every block a processor holds), preserving the original interleaved
-    order.  ``num_procs`` is inherited from the full trace so per-processor
-    state vectors keep their size.
+    Selects the shard's data rows, preserving the original interleaved
+    order; when the plan's dimension demands it (``replicate_sync``), all
+    ACQUIRE/RELEASE rows are additionally replicated into every shard
+    (sync events drive SD/SRD flushes, RD/SRD apply points and MAX
+    deadlines for every block a processor holds).  ``num_procs`` is
+    inherited from the full trace so per-processor state vectors keep
+    their size.
     """
     if not 0 <= shard < plan.num_shards:
         raise ProtocolError(
@@ -185,10 +288,11 @@ def shard_subtrace(trace: Trace, plan: ShardPlan, shard: int) -> Trace:
     cols = trace.columns()
     data = cols.data_mask()
     if len(plan.unique_blocks) == 0:
-        keep = ~data
+        mine = np.zeros(len(data), dtype=bool)
     else:
         row_shard = plan.shard_of_rows(cols.block_ids(plan.offset_bits))
-        keep = ~data | (row_shard == shard)
+        mine = data & (row_shard == shard)
+    keep = (~data | mine) if plan.dim.replicate_sync else mine
     return Trace(cols.take(np.flatnonzero(keep)), trace.num_procs,
                  name=trace.name, meta=trace.meta, validate=False)
 
@@ -207,6 +311,10 @@ def run_protocol_shard(name: str, trace: Trace, block_bytes: int,
         raise ProtocolError(
             f"protocol {name!r} is not block-shardable "
             f"(shardable: {sorted(SHARDABLE_PROTOCOLS)})")
+    if plan.dim.name != BY_BLOCK.name:
+        raise ProtocolError(
+            f"protocol {name!r} shards along {BY_BLOCK.name}, got a "
+            f"{plan.dim.name} plan")
     block_map = BlockMap(block_bytes)
     if block_map.offset_bits != plan.offset_bits:
         raise ProtocolError(
@@ -235,12 +343,57 @@ def run_protocol_sharded(name: str, trace: Trace, block_bytes: int,
     return merge_shard_results(parts)
 
 
+def run_finite_shard(trace: Trace, block_bytes: int, capacity_blocks: int,
+                     plan: ShardPlan, shard: int, *,
+                     ways: Optional[int] = None):
+    """Run the finite cache over one ``by-cache-set`` shard (partial).
+
+    The plan must have been built along :func:`by_cache_set` for the
+    cache's set count; merge all shards with
+    :func:`~repro.protocols.results.merge_shard_results`.
+    """
+    from .finite import FiniteOTFProtocol, cache_geometry
+
+    num_sets, _ = cache_geometry(capacity_blocks, ways)
+    if plan.dim.num_sets != num_sets:
+        raise ProtocolError(
+            f"shard plan partitions {plan.dim.name}, cache has "
+            f"{num_sets} sets")
+    block_map = BlockMap(block_bytes)
+    if block_map.offset_bits != plan.offset_bits:
+        raise ProtocolError(
+            f"shard plan was built for offset_bits={plan.offset_bits}, "
+            f"cell uses {block_map.offset_bits}")
+    protocol = FiniteOTFProtocol(trace.num_procs, block_map,
+                                 capacity_blocks, ways=ways)
+    return protocol.run(shard_subtrace(trace, plan, shard))
+
+
+def run_finite_sharded(trace: Trace, block_bytes: int, capacity_blocks: int,
+                       num_shards: int, *, ways: Optional[int] = None,
+                       plan: Optional[ShardPlan] = None):
+    """Serial reference driver for set-sharded finite-cache runs."""
+    from .finite import cache_geometry
+    from .results import merge_shard_results
+
+    num_sets, _ = cache_geometry(capacity_blocks, ways)
+    block_map = BlockMap(block_bytes)
+    if plan is None:
+        plan = plan_for_trace(trace, block_map, num_shards,
+                              dim=by_cache_set(num_sets))
+    parts = [run_finite_shard(trace, block_bytes, capacity_blocks, plan, s,
+                              ways=ways)
+             for s in range(plan.num_shards)]
+    return merge_shard_results(parts)
+
+
 def partition_indices(plan: ShardPlan,
                       data_block_ids: np.ndarray) -> Sequence[np.ndarray]:
     """Row-index arrays partitioning data rows by shard (classifier feed).
 
-    Unlike protocols, the Appendix A classifier ignores sync events, so a
-    classifier shard is exactly the shard's data rows — no replication.
+    Unlike protocols, the classifiers (Dubois Appendix A, Eggers,
+    Torrellas) ignore sync events, so a classifier shard is exactly the
+    shard's data rows — the same ``by-block`` plan, no replication.
     """
     row_shard = plan.shard_of_rows(np.asarray(data_block_ids, dtype=np.int64))
     return [np.flatnonzero(row_shard == s) for s in range(plan.num_shards)]

@@ -32,9 +32,9 @@ class TestParser:
         subparsers = next(a for a in parser._actions
                           if a.dest == "command")
         assert set(subparsers.choices) == {
-            "classify", "sweep", "simulate", "table1", "table2",
-            "fig5", "fig6", "validate", "generate", "attribute",
-            "traffic", "prefetch", "report"}
+            "classify", "compare", "sweep", "simulate", "table1",
+            "table2", "fig5", "fig6", "validate", "generate",
+            "attribute", "traffic", "prefetch", "report"}
 
 
 class TestCommands:
@@ -47,6 +47,18 @@ class TestCommands:
         # use the smallest registered workload for speed
         assert main(["classify", "MATMUL24", "--block", "64"]) == 0
         assert "MATMUL24" in capsys.readouterr().out
+
+    def test_classify_eggers(self, trace_file, capsys):
+        assert main(["classify", trace_file, "--block", "8",
+                     "--classifier", "eggers"]) == 0
+        out = capsys.readouterr().out
+        assert "CM=" in out and "essential" not in out
+
+    def test_compare(self, trace_file, capsys):
+        assert main(["compare", trace_file, "--block", "8"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("dubois", "eggers", "torrellas"):
+            assert scheme in out
 
     def test_sweep(self, trace_file, capsys):
         assert main(["sweep", trace_file]) == 0
