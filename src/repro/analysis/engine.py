@@ -86,6 +86,7 @@ from ..runtime.resources import (
     resolve_memory_budget,
     warn_resource,
 )
+from ..runtime import signals
 from ..runtime.retry import RetryPolicy
 from ..runtime.supervisor import Supervisor
 from ..trace.cache import WorkloadTraceCache, workload_cache_key
@@ -113,6 +114,27 @@ CLASSIFIERS = {
 # same partition (the digest also embeds the partition dimension, so
 # by-block and by-cache-set partials can never mix).
 Cell = Tuple[str, int, Optional[str]]
+
+
+def _feed_chunked(clf, *cols) -> None:
+    """Feed a classifier its columns in heartbeat-sized slices.
+
+    All three classifier ``feed_data`` implementations are re-entrant
+    (their cursors live on ``self``), so slicing the columns and calling
+    repeatedly is state-identical to one big call.  Between slices the
+    engine ticks the runtime's progress counter, which both feeds the
+    worker heartbeat (stall watchdog) and acts as a cancellation point
+    for graceful shutdown — at zero per-event cost inside the hot loops.
+    """
+    n = len(cols[0])
+    step = signals.HEARTBEAT_CHUNK
+    if n <= step:
+        clf.feed_data(*cols)
+        signals.note_progress(n)
+        return
+    for start in range(0, n, step):
+        clf.feed_data(*(c[start:start + step] for c in cols))
+        signals.note_progress(min(step, n - start))
 
 
 def partition_dim_for(cell: Cell) -> Optional[PartitionDim]:
@@ -312,17 +334,17 @@ class SharedPrecompute:
         if which == "dubois":
             rows, dropped = self.dubois_active_rows(block_map)
             if rows is not None:
-                clf.feed_data(*rows)
+                _feed_chunked(clf, *rows)
                 # Elided no-op reads still count as data references.
                 return dataclasses.replace(clf.finish(),
                                            data_refs=clf.data_refs + dropped)
         procs, ops, addrs = self.data_rows()
         blocks = self.data_blocks(block_map)
         if which == "eggers":
-            clf.feed_data(procs, ops, addrs, blocks,
+            _feed_chunked(clf, procs, ops, addrs, blocks,
                           self.data_offset_bits(block_map))
         else:
-            clf.feed_data(procs, ops, addrs, blocks)
+            _feed_chunked(clf, procs, ops, addrs, blocks)
         return clf.finish()
 
     def run_comparison(self, block_bytes: int) -> ClassificationComparison:
@@ -392,7 +414,7 @@ class SharedPrecompute:
             if keep is not None:
                 dropped = int((sel & ~keep).sum())
                 sel &= keep
-            clf.feed_data(self.data.proc[sel].tolist(),
+            _feed_chunked(clf, self.data.proc[sel].tolist(),
                           self.data.op[sel].tolist(),
                           self.data.addr[sel].tolist(),
                           blocks[sel].tolist())
@@ -405,9 +427,10 @@ class SharedPrecompute:
         if which == "eggers":
             offsets = self.data.word_offsets(
                 block_map.words_per_block)[sel].tolist()
-            clf.feed_data(procs, ops, addrs, blks, [1 << o for o in offsets])
+            _feed_chunked(clf, procs, ops, addrs, blks,
+                          [1 << o for o in offsets])
         else:
-            clf.feed_data(procs, ops, addrs, blks)
+            _feed_chunked(clf, procs, ops, addrs, blks)
         return clf.finish()
 
     def run_comparison_shard(self, block_bytes: int, digest: str,
@@ -818,6 +841,9 @@ class SweepEngine:
             rungs = degradation_rungs(self.jobs, self.shards)
             for step, rung in enumerate(rungs):
                 final = step == len(rungs) - 1
+                # A shutdown requested between rungs (or salvaged out of
+                # the previous rung's drain) must not start a new rung.
+                signals.check_interrupt()
                 try:
                     results = self._run_grid_once(
                         cells, completed, journal,
@@ -840,6 +866,11 @@ class SweepEngine:
                         f"{rungs[step + 1].label!r} with "
                         f"{len(exc.partial or {})} task(s) salvaged")
                     continue
+                if journal is not None:
+                    # The grid is complete: fold duplicate records and
+                    # absorbed shard partials so the next resume replays
+                    # a minimal journal.
+                    journal.compact()
                 rec.event("sweep.finish", trace_key=self.trace_key,
                           cells=len(cells), rung=rung.label)
                 run = current_run()

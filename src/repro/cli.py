@@ -36,7 +36,15 @@ from .analysis.tables import (
     format_table1,
     format_table2,
 )
-from .errors import ReproError
+from .errors import (
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_RESOURCE_EXHAUSTED,
+    ReproError,
+    ResourceExhaustedError,
+    SweepInterrupted,
+)
+from .runtime.signals import graceful_shutdown
 from .protocols.runner import protocol_names, run_protocol, run_protocols
 from .trace import io as trace_io
 from .trace.cache import WorkloadTraceCache, default_cache_dir
@@ -438,20 +446,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_logging(verbosity)
     telemetry_dir = getattr(args, "telemetry", None)
     try:
-        if telemetry_dir is not None:
-            # One run for the whole command: trace loading (cache spans)
-            # and every engine the command builds share the stream.
-            from .obs import RunTelemetry
+        # Install the two-phase SIGINT/SIGTERM handler for the whole
+        # command: the first signal drains in-flight cells and exits
+        # resumable (EXIT_INTERRUPTED); a second forces teardown.
+        with graceful_shutdown():
+            if telemetry_dir is not None:
+                # One run for the whole command: trace loading (cache
+                # spans) and every engine the command builds share the
+                # stream.
+                from .obs import RunTelemetry
 
-            run_argv = list(argv) if argv is not None else sys.argv[1:]
-            with RunTelemetry(telemetry_dir, argv=run_argv,
-                              config={"command": args.command},
-                              progress=verbosity >= 0):
-                return args.func(args)
-        return args.func(args)
+                run_argv = list(argv) if argv is not None else sys.argv[1:]
+                with RunTelemetry(telemetry_dir, argv=run_argv,
+                                  config={"command": args.command},
+                                  progress=verbosity >= 0):
+                    return args.func(args)
+            return args.func(args)
+    except SweepInterrupted as exc:
+        resume_dir = getattr(args, "resume", None)
+        hint = (" -- re-run with the same --resume to continue"
+                if resume_dir is not None else
+                " -- add --resume to make interrupted sweeps restartable")
+        print(f"interrupted: {exc}{hint}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        # A Ctrl-C outside the engine (argument parsing, trace load,
+        # report rendering) has no partial state to report but is still
+        # a clean, resumable interruption.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ResourceExhaustedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE_EXHAUSTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_FAILED
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,30 @@ letting programming errors (``TypeError`` et al.) propagate.
 
 from __future__ import annotations
 
+# ---------------------------------------------------------------------------
+# Standard process exit codes
+# ---------------------------------------------------------------------------
+# The CLI (and the chaos harness's sweep children) exit with exactly one of
+# these.  ``EXIT_INTERRUPTED`` follows BSD sysexits' ``EX_TEMPFAIL``: the
+# run was cut short but left a consistent checkpoint journal, so re-running
+# with ``--resume`` completes it.  Note that individual commands may also
+# use exit code 1 for an *unclean result* that is not an error (e.g.
+# ``repro validate`` on a racy trace).
+
+#: The command ran to completion.
+EXIT_COMPLETED = 0
+#: The command failed with a :class:`ReproError` (bad input, cell failure
+#: after all retries, invariant violation, ...).  Not resumable as-is.
+EXIT_FAILED = 2
+#: A memory or disk budget could not be satisfied even after the
+#: degradation ladder (:class:`ResourceExhaustedError`).  Resumable on a
+#: bigger machine or with a larger budget.
+EXIT_RESOURCE_EXHAUSTED = 3
+#: The sweep was interrupted (SIGINT/SIGTERM) after a graceful drain; the
+#: checkpoint journal holds every completed cell and ``--resume`` re-runs
+#: only the incomplete ones.  75 == sysexits EX_TEMPFAIL.
+EXIT_INTERRUPTED = 75
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -127,6 +151,37 @@ class ResourceExhaustedError(ReproError):
 
 class CheckpointError(ReproError):
     """A sweep checkpoint journal could not be read or written."""
+
+
+class StaleJournalError(CheckpointError):
+    """A checkpoint journal was written by an incompatible code version.
+
+    The journal header carries a digest of the journal format version and
+    the ``repro`` release that wrote it; resuming against a journal whose
+    digest no longer matches would silently mix results computed by
+    different code, so the journal is rejected instead.  Delete the
+    journal (or run without ``--resume``) to recompute from scratch.
+    """
+
+
+class SweepInterrupted(BaseException):
+    """A sweep was stopped by a graceful-shutdown request (SIGINT/SIGTERM).
+
+    Deliberately *not* a :class:`ReproError` — it derives from
+    ``BaseException`` (like :class:`KeyboardInterrupt`) so that the retry
+    and fallback machinery's ``except Exception`` clauses never mistake an
+    operator interrupt for a failed cell and burn retry budget on it.
+    Whoever catches it (the CLI, the chaos harness) should exit with
+    :data:`EXIT_INTERRUPTED`.
+    """
+
+    def __init__(self, message: str = "sweep interrupted", *,
+                 completed_cells: int = 0, partial=None):
+        super().__init__(message)
+        #: Number of cells durably journaled before the interrupt.
+        self.completed_cells = completed_cells
+        #: Results of cells that completed in this process, ``{cell: result}``.
+        self.partial = dict(partial or {})
 
 
 class InvariantViolationError(ReproError):

@@ -184,6 +184,7 @@ class RunTelemetry:
             "cache_hits": 0, "cache_misses": 0, "tasks_done": 0,
             "retries": 0, "timeouts": 0, "oom_failures": 0,
             "ladder_steps": 0, "checkpoint_writes": 0,
+            "heartbeats": 0, "interrupted_cells": 0,
         }
         self._current_trace_key: Optional[str] = None
         self._log_handler: Optional[TelemetryLogHandler] = None
@@ -205,7 +206,19 @@ class RunTelemetry:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.finish(outcome="completed" if exc_type is None else "failed",
+        from ..errors import SweepInterrupted
+
+        if exc_type is None:
+            outcome = "completed"
+        elif exc_type is not None and issubclass(exc_type,
+                                                 (SweepInterrupted,
+                                                  KeyboardInterrupt)):
+            # A graceful shutdown is not a failure: the journal holds
+            # every completed cell and the run is resumable.
+            outcome = "interrupted"
+        else:
+            outcome = "failed"
+        self.finish(outcome=outcome,
                     error=None if exc is None else f"{type(exc).__name__}: {exc}")
         return False
 
@@ -217,10 +230,11 @@ class RunTelemetry:
             return
         self._finished = True
         duration = time.monotonic() - self._started_mono
+        level = {"completed": "info",
+                 "interrupted": "warning"}.get(outcome, "error")
         self.recorder.event("run.finish", run_id=self.run_id,
                             outcome=outcome, duration_s=round(duration, 6),
-                            level="info" if outcome == "completed"
-                            else "error")
+                            level=level)
         if self.progress is not None:
             self.progress.finish()
         manifest = self.build_manifest(outcome=outcome, error=error,
@@ -340,6 +354,9 @@ class RunTelemetry:
         cell = self._cell_of(attrs)
         if cell is None:
             return
+        if name == "worker.heartbeat":
+            self._counters["heartbeats"] += 1
+            return
         stats = self._stats(self._current_trace_key, cell)
         if name == "worker.ru_maxrss_kb":
             value = int(record.get("value", 0))
@@ -373,6 +390,8 @@ class RunTelemetry:
                 self._counters["timeouts"] += 1
             elif fail_kind == "oom":
                 self._counters["oom_failures"] += 1
+            elif fail_kind == "interrupted":
+                self._counters["interrupted_cells"] += 1
             if attrs.get("action") == "retry":
                 self._counters["retries"] += 1
             cell = self._cell_of(attrs)
@@ -434,7 +453,7 @@ def validate_manifest(manifest: dict) -> None:
                   "duration_s"):
         if field not in manifest:
             raise ReproError(f"manifest missing field {field!r}")
-    if manifest["outcome"] not in ("completed", "failed"):
+    if manifest["outcome"] not in ("completed", "failed", "interrupted"):
         raise ReproError(f"bad manifest outcome {manifest['outcome']!r}")
     if not isinstance(manifest["cells"], list):
         raise ReproError("manifest cells is not a list")

@@ -66,6 +66,8 @@ class ProgressLine:
         self.running = 0
         self.failed_attempts = 0
         self.resumed = 0
+        self.interrupting = False
+        self.last_heartbeat: Optional[float] = None
         self._ema_rate: Optional[float] = None
         self._ema_dur: Optional[float] = None
         self._max_running = 1
@@ -82,6 +84,10 @@ class ProgressLine:
             self._on_event(record)
         elif kind == "span":
             self._on_span(record)
+        elif kind == "metric" and record.get("name") == "worker.heartbeat":
+            # Liveness only — no redraw per beat, just remember we saw it
+            # so the status line can show that workers are alive.
+            self.last_heartbeat = time.monotonic()
 
     def _on_event(self, record: dict) -> None:
         name = record.get("name")
@@ -103,6 +109,10 @@ class ProgressLine:
         elif name == "cell.resumed":
             self.resumed += 1
             return  # resumed cells are not part of the live task count
+        elif name == "shutdown.requested":
+            self.interrupting = True
+            self._render(force=True)
+            return
         elif name in ("sweep.finish", "run.finish"):
             self.finish()
             return
@@ -143,6 +153,8 @@ class ProgressLine:
                  f"{self.failed_attempts} failed"]
         if self.resumed:
             parts.append(f"{self.resumed} resumed")
+        if self.interrupting:
+            parts.append("interrupting -- draining")
         if self._ema_rate is not None:
             parts.append(format_rate(self._ema_rate))
         eta = self.eta_seconds()

@@ -21,6 +21,7 @@ from typing import Dict, Type
 
 from ..errors import ProtocolError
 from ..mem.addresses import BlockMap
+from ..runtime import signals
 from ..trace.events import ACQUIRE, LOAD, RELEASE, STORE
 from ..trace.trace import Trace
 from .lifetime import LifetimeTracker
@@ -125,15 +126,23 @@ class Protocol:
                 f"for {self.num_procs}")
         on_load, on_store = self.on_load, self.on_store
         on_acquire, on_release = self.on_acquire, self.on_release
-        for proc, op, addr in trace.events:
-            if op == LOAD:
-                on_load(proc, addr)
-            elif op == STORE:
-                on_store(proc, addr)
-            elif op == ACQUIRE:
-                on_acquire(proc, addr)
-            elif op == RELEASE:
-                on_release(proc, addr)
+        # The event loop is chunked so long simulations stay interruptible
+        # and heartbeat-visible without paying any per-event overhead: the
+        # progress tick (which doubles as a cancellation point) runs once
+        # per HEARTBEAT_CHUNK events, not once per event.
+        events = trace.events
+        step = signals.HEARTBEAT_CHUNK
+        for start in range(0, len(events), step):
+            for proc, op, addr in events[start:start + step]:
+                if op == LOAD:
+                    on_load(proc, addr)
+                elif op == STORE:
+                    on_store(proc, addr)
+                elif op == ACQUIRE:
+                    on_acquire(proc, addr)
+                elif op == RELEASE:
+                    on_release(proc, addr)
+            signals.note_progress(min(step, len(events) - start))
         self.on_end()
         breakdown = self.tracker.finish()
         return ProtocolResult(

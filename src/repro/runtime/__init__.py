@@ -17,15 +17,22 @@ them survive partial failure:
   footprint model and preflight admission under ``--memory-budget``,
   per-worker ``RLIMIT_AS`` soft caps, OOM-vs-crash exitcode
   classification, the graceful-degradation ladder, and disk-budget
-  helpers for the trace cache and checkpoint directories.
+  helpers for the trace cache and checkpoint directories;
+* :mod:`~repro.runtime.signals` — two-phase graceful shutdown
+  (SIGINT/SIGTERM → drain → resumable exit; second signal forces) and
+  the progress counter behind the worker heartbeat / stall watchdog;
+* :mod:`~repro.runtime.chaos` — the seeded kill-and-resume soak harness
+  proving that interrupted sweeps converge to bit-identical results.
 """
 
+from .chaos import ChaosReport, CycleOutcome, chaos_soak
 from .checkpoint import CheckpointJournal, default_checkpoint_dir
 from .faults import (
     FaultInjectedError,
     FaultPlan,
     corrupt_file,
     exhaust_address_space,
+    tear_jsonl_tail,
 )
 from .resources import (
     DEFAULT_FOOTPRINT_MODEL,
@@ -42,21 +49,36 @@ from .resources import (
     peak_rss_bytes,
     plan_admission,
 )
+from .resources import gc_stale_tmp
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .signals import (
+    HEARTBEAT_CHUNK,
+    ShutdownCoordinator,
+    check_interrupt,
+    get_shutdown,
+    graceful_shutdown,
+    note_progress,
+)
 from .supervisor import Supervisor
 
 __all__ = [
     "Admission",
+    "ChaosReport",
     "CheckpointJournal",
+    "CycleOutcome",
     "DEFAULT_FOOTPRINT_MODEL",
     "DEFAULT_RETRY_POLICY",
     "FaultInjectedError",
     "FaultPlan",
     "FootprintModel",
+    "HEARTBEAT_CHUNK",
     "RetryPolicy",
     "Rung",
+    "ShutdownCoordinator",
     "Supervisor",
     "apply_worker_rlimit",
+    "chaos_soak",
+    "check_interrupt",
     "classify_exitcode",
     "corrupt_file",
     "default_checkpoint_dir",
@@ -65,7 +87,12 @@ __all__ = [
     "estimate_cell_bytes",
     "exhaust_address_space",
     "format_size",
+    "gc_stale_tmp",
+    "get_shutdown",
+    "graceful_shutdown",
+    "note_progress",
     "parse_size",
     "peak_rss_bytes",
     "plan_admission",
+    "tear_jsonl_tail",
 ]

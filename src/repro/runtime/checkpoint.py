@@ -16,10 +16,21 @@ journal is an append-only JSONL file, one line per completed cell:
 * **Durable** — each record is one ``json.dumps`` line, flushed and
   fsynced before :meth:`CheckpointJournal.record` returns; a crash can
   lose at most the in-flight cell.
-* **Corruption-tolerant** — a truncated final line (the kill happened
-  mid-write) is skipped on load, as is any record with the wrong version
-  or trace key; a record whose result no longer decodes invalidates only
+* **Versioned** — the first line is a header carrying the journal format
+  version and a digest of the code release that wrote it.  Resuming
+  against a journal whose digest no longer matches raises
+  :class:`~repro.errors.StaleJournalError` with a clear remedy instead of
+  silently mixing results computed by different code.  (Headerless
+  journals from older releases still load, record by record.)
+* **Corruption-tolerant** — a torn final line (the kill happened
+  mid-write) is *truncated away* on open, so the next append starts on a
+  clean line boundary; any record with the wrong version or trace key is
+  skipped; a record whose result no longer decodes invalidates only
   itself.
+* **Compactable** — :meth:`CheckpointJournal.compact` atomically rewrites
+  the journal as one record per cell (latest wins), dropping duplicate
+  lines from retried runs and shard partials whose merged parent cell is
+  already journaled.
 
 Results are serialized structurally (no pickle), so a journal written by
 one run decodes to objects that compare equal to a fresh computation —
@@ -29,17 +40,43 @@ resume is byte-identical as far as any consumer can observe.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 from typing import Any, Dict, Optional, Tuple
 
 from ..classify.breakdown import DuboisBreakdown, SimpleBreakdown
 from ..classify.compare import ClassificationComparison
-from ..errors import CheckpointError
+from ..errors import CheckpointError, StaleJournalError
 from ..obs.recorder import get_recorder
 from ..protocols.results import Counters, ProtocolResult
 
 _VERSION = 1
+
+#: Version of the journal *file* format (the header line); bump when the
+#: record schema or result encoding changes incompatibly.
+JOURNAL_VERSION = 2
+
+#: Marker distinguishing the header line from cell records.
+_HEADER_KIND = "repro-journal"
+
+
+def _code_version() -> str:
+    # Imported lazily: repro/__init__ pulls in this module before
+    # defining __version__.
+    import repro
+    return repro.__version__
+
+
+def journal_digest(trace_key: str) -> str:
+    """Digest binding a journal to the code that wrote it.
+
+    Covers the journal format version, the ``repro`` release and the
+    trace key — the three things that decide whether old records may be
+    mixed with fresh computations.
+    """
+    blob = f"journal:{JOURNAL_VERSION}|code:{_code_version()}|key:{trace_key}"
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def default_checkpoint_dir() -> str:
@@ -136,18 +173,90 @@ class CheckpointJournal:
         self.trace_key = trace_key
         self.path = os.path.join(self.directory, f"{trace_key}.jsonl")
         self._fh = None
+        #: Lines skipped or superseded during the last :meth:`load` — a
+        #: nonzero value means :meth:`compact` would shrink the file.
+        self.stale_lines = 0
+        # Open-time hygiene: reap temp files leaked by killed writers
+        # (compaction tmps here, manifest tmps when the telemetry dir is
+        # colocated) and repair a torn tail before anything reads it.
+        from .resources import gc_stale_tmp
+
+        gc_stale_tmp(self.directory)
+        self._recover_tail()
 
     # ------------------------------------------------------------------
-    def load(self) -> Dict[Tuple, Any]:
-        """Completed cells from a previous run: ``{cell: result}``.
+    # torn-tail recovery & header
+    # ------------------------------------------------------------------
+    def _recover_tail(self) -> None:
+        """Truncate a partial final line left by a mid-write kill.
 
-        Unparseable lines (e.g. a torn final write) and records from other
-        trace keys or journal versions are skipped, not fatal.
+        Each record is fsynced as one line, so the only possible damage
+        from a crash is an unterminated tail.  Cutting the file back to
+        its last newline restores the invariant that appends always start
+        on a line boundary — without it, the first record of the *next*
+        run would glue onto the torn fragment and corrupt both.
         """
-        completed: Dict[Tuple, Any] = {}
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "r+b") as fh:
+            fh.seek(max(0, size - 1))
+            if fh.read(1) == b"\n":
+                return
+            # Walk back in blocks to the last newline.
+            keep = 0
+            pos = size
+            block = 4096
+            while pos > 0:
+                step = min(block, pos)
+                fh.seek(pos - step)
+                chunk = fh.read(step)
+                nl = chunk.rfind(b"\n")
+                if nl != -1:
+                    keep = pos - step + nl + 1
+                    break
+                pos -= step
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+        get_recorder().event("checkpoint.recovered", level="warning",
+                             key=self.trace_key,
+                             dropped_bytes=size - keep)
+
+    def _header_line(self) -> str:
+        return json.dumps({"kind": _HEADER_KIND,
+                           "journal_v": JOURNAL_VERSION,
+                           "key": self.trace_key,
+                           "digest": journal_digest(self.trace_key),
+                           "writer": _code_version()},
+                          sort_keys=True)
+
+    def _check_header(self, record: dict) -> None:
+        """Reject a journal whose header digest no longer matches."""
+        if record.get("digest") == journal_digest(self.trace_key):
+            return
+        writer = record.get("writer", "unknown")
+        raise StaleJournalError(
+            f"checkpoint journal {self.path} is stale: written by repro "
+            f"{writer} (journal format v{record.get('journal_v')}), but "
+            f"this is repro {_code_version()} (format v{JOURNAL_VERSION}). "
+            f"Results computed by different code must not be mixed -- "
+            f"delete the journal or run without --resume to recompute.")
+
+    def _iter_records(self):
+        """Yield raw record dicts, validating the header if present.
+
+        Tracks ``self.stale_lines`` (skipped/garbage lines) so callers
+        can decide whether compaction is worthwhile.
+        """
+        self.stale_lines = 0
         if not os.path.exists(self.path):
-            return completed
+            return
         with open(self.path, "r", encoding="utf-8") as fh:
+            first = True
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -155,15 +264,40 @@ class CheckpointJournal:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    self.stale_lines += 1
                     continue  # torn write from a killed run
+                if first:
+                    first = False
+                    if (isinstance(record, dict)
+                            and record.get("kind") == _HEADER_KIND):
+                        self._check_header(record)
+                        continue
+                    # Headerless journal from an older release: records
+                    # are still versioned individually, so fall through.
                 if (record.get("v") != _VERSION
                         or record.get("key") != self.trace_key):
+                    self.stale_lines += 1
                     continue
-                try:
-                    completed[_cell_key(record["cell"])] = decode_result(
-                        record["result"])
-                except (CheckpointError, KeyError, TypeError):
-                    continue  # one bad record invalidates only itself
+                yield record
+
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[Tuple, Any]:
+        """Completed cells from a previous run: ``{cell: result}``.
+
+        Unparseable lines and records from other trace keys or record
+        versions are skipped, not fatal; a *stale header* (different
+        code release) raises :class:`~repro.errors.StaleJournalError`.
+        """
+        completed: Dict[Tuple, Any] = {}
+        for record in self._iter_records():
+            try:
+                cell = _cell_key(record["cell"])
+                if cell in completed:
+                    self.stale_lines += 1  # duplicate from a retried run
+                completed[cell] = decode_result(record["result"])
+            except (CheckpointError, KeyError, TypeError):
+                self.stale_lines += 1
+                continue  # one bad record invalidates only itself
         return completed
 
     #: Free-space preflight requirement before the journal is opened for
@@ -172,20 +306,40 @@ class CheckpointJournal:
     #: killed sweep resumable, so require modest headroom up front.
     MIN_FREE_BYTES = 8 << 20
 
+    def _open_for_append(self):
+        from .resources import ensure_free_space
+
+        os.makedirs(self.directory, exist_ok=True)
+        ensure_free_space(self.directory, self.MIN_FREE_BYTES,
+                          label="checkpoint journal")
+        fresh = not os.path.exists(self.path) or \
+            os.path.getsize(self.path) == 0
+        if not fresh:
+            # Appending to a journal we did not load(): still refuse to
+            # mix records across code releases.
+            with open(self.path, "r", encoding="utf-8") as fh:
+                try:
+                    first = json.loads(fh.readline().strip() or "null")
+                except json.JSONDecodeError:
+                    first = None
+            if isinstance(first, dict) and first.get("kind") == _HEADER_KIND:
+                self._check_header(first)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            self._fh.write(self._header_line() + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
     def record(self, cell, result) -> None:
         """Durably append one completed cell (flush + fsync).
 
         The first append runs a disk free-space preflight and raises
         :class:`~repro.errors.ResourceExhaustedError` (``kind="disk"``)
-        rather than writing a journal the next run could not trust.
+        rather than writing a journal the next run could not trust; a
+        fresh journal starts with the versioned header line.
         """
         if self._fh is None:
-            from .resources import ensure_free_space
-
-            os.makedirs(self.directory, exist_ok=True)
-            ensure_free_space(self.directory, self.MIN_FREE_BYTES,
-                              label="checkpoint journal")
-            self._fh = open(self.path, "a", encoding="utf-8")
+            self._open_for_append()
         with get_recorder().span("checkpoint.write", cell=list(cell),
                                  key=self.trace_key):
             line = json.dumps({"v": _VERSION, "key": self.trace_key,
@@ -195,6 +349,57 @@ class CheckpointJournal:
             self._fh.write(line + "\n")
             self._fh.flush()
             os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Atomically rewrite the journal without redundant lines.
+
+        Keeps the latest record per cell and drops (a) duplicate records
+        from retried/resumed runs, (b) garbage or foreign-key lines, and
+        (c) shard-partial records whose merged parent cell is already
+        journaled — once ``("classify", 64, "dubois")`` is durable, its
+        ``("classify-shard", 64, "dubois", <digest>, k)`` partials can
+        never be read again.  Returns the number of lines dropped.
+        Written via a temp sibling + ``os.replace`` so a kill mid-compact
+        leaves the original journal intact.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        if self._fh is not None:
+            self.close()
+        latest: Dict[Tuple, dict] = {}
+        duplicates = 0
+        for record in self._iter_records():
+            try:
+                cell = _cell_key(record["cell"])
+            except (KeyError, TypeError):
+                self.stale_lines += 1
+                continue
+            if cell in latest:
+                duplicates += 1
+            latest[cell] = record
+        dropped = self.stale_lines + duplicates
+        for cell in list(latest):
+            kind = cell[0] if cell else ""
+            if isinstance(kind, str) and kind.endswith("-shard"):
+                parent = (kind[:-len("-shard")],) + tuple(cell[1:3])
+                if parent in latest:
+                    del latest[cell]
+                    dropped += 1
+        if dropped == 0:
+            return 0
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(self._header_line() + "\n")
+            for record in latest.values():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        get_recorder().event("checkpoint.compacted", key=self.trace_key,
+                             dropped_lines=dropped, kept=len(latest))
+        self.stale_lines = 0
+        return dropped
 
     def close(self) -> None:
         if self._fh is not None:

@@ -26,6 +26,7 @@ machine-threatening OOM.
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -62,6 +63,12 @@ class FaultPlan:
     #: installed rlimit the fault raises ``MemoryError`` directly instead
     #: of actually threatening the machine.
     exhaust_memory: Dict[Any, int] = field(default_factory=dict)
+    #: attempts that SIGTERM the *parent* (supervisor) process from inside
+    #: the worker, then hang — the chaos harness's "the whole sweep got
+    #: killed mid-cell" scenario.  The parent's graceful-shutdown handler
+    #: turns this into a drain + resumable exit; the hanging worker is
+    #: cancelled during the drain.  Worker-only.
+    sigterm_parent: Dict[Any, int] = field(default_factory=dict)
     #: how long a hang fault sleeps; far longer than any test timeout.
     hang_seconds: float = 3600.0
     #: allocation step of the exhaust-memory fault.
@@ -85,6 +92,10 @@ class FaultPlan:
                        index: Optional[int] = None) -> bool:
         return attempt <= self._times(self.exhaust_memory, cell, index)
 
+    def should_sigterm_parent(self, cell, attempt: int,
+                              index: Optional[int] = None) -> bool:
+        return attempt <= self._times(self.sigterm_parent, cell, index)
+
     # ------------------------------------------------------------------
     def apply_worker(self, cell, attempt: int, index: Optional[int] = None) -> None:
         """Fire any worker-side fault for ``(cell, attempt)``.
@@ -93,6 +104,12 @@ class FaultPlan:
         """
         if self.should_crash(cell, attempt, index):
             os._exit(17)  # hard death: no cleanup, no exception propagation
+        if self.should_sigterm_parent(cell, attempt, index):
+            os.kill(os.getppid(), signal.SIGTERM)
+            # Hang rather than complete: the interrupted parent must not
+            # receive this cell's result, so the drain cancels it and
+            # --resume recomputes it.
+            time.sleep(self.hang_seconds)
         if self.should_hang(cell, attempt, index):
             time.sleep(self.hang_seconds)
         if self.should_exhaust(cell, attempt, index):
@@ -135,6 +152,25 @@ def exhaust_address_space(*, chunk_bytes: int = 16 << 20) -> None:
         del hoard
         raise MemoryError(
             "injected exhaust_memory fault (RLIMIT_AS cap reached)") from None
+
+
+def tear_jsonl_tail(path: str, *, cut: int = 17) -> bool:
+    """Simulate a kill mid-journal-write: leave a torn final JSONL line.
+
+    Rewinds the file past its final newline by ``cut`` bytes, producing
+    an unterminated fragment exactly like an interrupted ``write()``.
+    The journal's torn-tail recovery must truncate it away on the next
+    open.  Returns False (no-op) when the file is too small to tear.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if size <= cut + 1:
+        return False
+    with open(path, "r+b") as f:
+        f.truncate(size - cut)
+    return True
 
 
 def corrupt_file(path: str, *, mode: str = "truncate",

@@ -37,6 +37,7 @@ import logging
 import os
 import shutil
 import signal
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
@@ -473,6 +474,47 @@ def dir_size_bytes(directory: str, suffixes: Tuple[str, ...] = ()) -> int:
         except OSError:
             continue
     return total
+
+
+def gc_stale_tmp(directory: str, *, max_age_s: float = 3600.0,
+                 now: Optional[float] = None) -> int:
+    """Remove orphaned temp files left behind by killed writers.
+
+    Atomic writes in the trace cache, checkpoint journal and telemetry
+    manifest all go through a ``*.tmp`` sibling that is renamed into
+    place; a writer killed between create and rename leaks the sibling
+    forever.  Called on directory *open*, this sweeps any file whose name
+    carries a ``.tmp`` segment (``foo.npz.1234.tmp.npz``,
+    ``manifest.json.tmp``, ``<key>.jsonl.tmp``) and whose mtime is older
+    than ``max_age_s`` — the age guard keeps a concurrently *live* writer
+    in another process safe.  Returns the number of files removed.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    if now is None:
+        now = time.time()
+    removed = 0
+    for name in names:
+        stem = name.split("/")[-1]
+        parts = stem.split(".")
+        if "tmp" not in parts[1:]:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if not os.path.isfile(path):
+                continue
+            if now - os.path.getmtime(path) < max_age_s:
+                continue
+            os.unlink(path)
+            removed += 1
+        except OSError:  # pragma: no cover - raced with another GC
+            continue
+    if removed:
+        logger.info("removed %d orphaned temp file(s) under %s",
+                    removed, directory)
+    return removed
 
 
 def warn_resource(message: str) -> None:

@@ -57,6 +57,16 @@ class RetryPolicy:
         return min(self.max_delay,
                    self.base_delay * self.backoff ** (attempt - 1))
 
+    def sleep(self, attempt: int) -> None:
+        """Back off before the next attempt, honouring shutdown requests.
+
+        A graceful-shutdown request arriving mid-backoff raises
+        :class:`~repro.errors.SweepInterrupted` immediately instead of
+        letting a capped 2 s delay eat into the < 5 s exit budget.
+        """
+        from .signals import interruptible_sleep
+        interruptible_sleep(self.delay(attempt))
+
     @classmethod
     def from_retries(cls, retries: int, **kwargs) -> "RetryPolicy":
         """Policy allowing ``retries`` retries after the first attempt."""

@@ -45,13 +45,15 @@ import itertools
 import logging
 import multiprocessing
 import multiprocessing.connection
+import threading
 import time
 import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..errors import CellFailedError, ResourceExhaustedError
+from ..errors import CellFailedError, ResourceExhaustedError, SweepInterrupted
 from ..obs import get_recorder, worker_begin
+from . import signals
 from .faults import FaultPlan
 from .resources import apply_worker_rlimit, classify_exitcode, peak_rss_bytes
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -62,6 +64,7 @@ logger = logging.getLogger(__name__)
 _WORKER_RUNNER: Optional[Callable[[Any], Any]] = None
 _WORKER_FAULTS: Optional[FaultPlan] = None
 _WORKER_RLIMIT: Optional[int] = None
+_WORKER_HEARTBEAT: Optional[float] = None
 
 
 def _task_attr(task):
@@ -81,6 +84,31 @@ def _failure_payload(exc: BaseException) -> dict:
     return {"error": traceback.format_exc(limit=20), "kind": kind}
 
 
+def _heartbeat_loop(conn, send_lock, current, interval) -> None:
+    """Daemon thread: periodically report the worker's progress counter.
+
+    Sends ``("hb", idx, progress, cell)`` for the task in flight.  The
+    supervisor compares successive ``progress`` samples: a *slow* cell
+    keeps advancing the counter (the hot loops tick it every
+    :data:`~repro.runtime.signals.HEARTBEAT_CHUNK` events) while a *hung*
+    one freezes it — which is exactly the distinction the stall watchdog
+    needs.  Sends share ``send_lock`` with result replies so the two
+    never interleave on the pipe.
+    """
+    while True:
+        time.sleep(interval)
+        cur = current[0]
+        if cur is None:
+            continue
+        idx, task = cur
+        try:
+            with send_lock:
+                conn.send(("hb", idx, signals.progress_count(),
+                           _task_attr(task)))
+        except Exception:
+            return  # pipe gone: the worker is exiting
+
+
 def _worker_main(conn) -> None:
     """Worker loop: receive ``("run", idx, task, attempt)``, send results.
 
@@ -94,12 +122,25 @@ def _worker_main(conn) -> None:
     *relative to what fork inherited* before serving tasks, so an
     over-budget cell dies as a classified ``MemoryError`` reply, never as
     a kernel SIGKILL.
+
+    Workers drop the parent's inherited shutdown flag and ignore SIGINT
+    (:func:`repro.runtime.signals.reset_in_child`): on Ctrl-C the parent
+    alone coordinates the wind-down over the pipes.  When the parent
+    configured a heartbeat interval, a daemon thread reports liveness
+    between replies (see :func:`_heartbeat_loop`).
     """
     runner = _WORKER_RUNNER
     faults = _WORKER_FAULTS
+    signals.reset_in_child()
     recorder = worker_begin()
     if _WORKER_RLIMIT is not None:
         apply_worker_rlimit(_WORKER_RLIMIT)
+    send_lock = threading.Lock()
+    current: List = [None]  # [(idx, task)] while a task is in flight
+    if _WORKER_HEARTBEAT is not None:
+        threading.Thread(target=_heartbeat_loop,
+                         args=(conn, send_lock, current, _WORKER_HEARTBEAT),
+                         name="repro-heartbeat", daemon=True).start()
     while True:
         try:
             msg = conn.recv()
@@ -108,6 +149,7 @@ def _worker_main(conn) -> None:
         if msg[0] == "stop":
             return
         _, idx, task, attempt = msg
+        current[0] = (idx, task)
         try:
             if faults is not None:
                 faults.apply_worker(task, attempt, idx)
@@ -115,6 +157,7 @@ def _worker_main(conn) -> None:
             ok, payload = True, result
         except BaseException as exc:
             ok, payload = False, _failure_payload(exc)
+        current[0] = None
         records = None
         if recorder is not None:
             recorder.metric("worker.ru_maxrss_kb",
@@ -122,14 +165,17 @@ def _worker_main(conn) -> None:
                             cell=_task_attr(task))
             records = recorder.drain()
         try:
-            conn.send((idx, ok, payload, records))
+            with send_lock:
+                conn.send((idx, ok, payload, records))
         except Exception:
             # The result (or error) could not cross the pipe; report a
             # sendable failure so the supervisor can retry the cell.
             try:
-                conn.send((idx, False,
-                           {"error": "worker could not send result for "
-                                     f"task {idx}", "kind": "error"}, None))
+                with send_lock:
+                    conn.send((idx, False,
+                               {"error": "worker could not send result for "
+                                         f"task {idx}", "kind": "error"},
+                               None))
             except Exception:
                 return
 
@@ -150,7 +196,8 @@ class _Attempt:
 class _Worker:
     """One supervised fork worker and its pipe."""
 
-    __slots__ = ("process", "conn", "current", "deadline")
+    __slots__ = ("process", "conn", "current", "deadline", "last_progress",
+                 "_shutdown_token")
 
     def __init__(self, ctx, wid: int):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -161,10 +208,20 @@ class _Worker:
         self.conn = parent_conn
         self.current: Optional[_Attempt] = None
         self.deadline: Optional[float] = None
+        #: Last heartbeat progress sample for the task in flight (None
+        #: until the first heartbeat after an assignment).
+        self.last_progress: Optional[int] = None
+        # Forced teardown (second Ctrl-C) runs os._exit, which skips the
+        # multiprocessing atexit reaping of daemon children — register so
+        # the coordinator can kill this worker directly.
+        coord = signals.get_shutdown()
+        self._shutdown_token = (coord.register_process(self.process)
+                                if coord is not None else None)
 
     def assign(self, att: _Attempt, timeout: Optional[float]) -> None:
         att.attempts += 1
         self.current = att
+        self.last_progress = None
         self.deadline = (time.monotonic() + timeout
                          if timeout is not None else None)
         self.conn.send(("run", att.idx, att.task, att.attempts))
@@ -182,6 +239,10 @@ class _Worker:
             self.process.kill()
             self.process.join(timeout=2.0)
         self.conn.close()
+        if self._shutdown_token is not None:
+            coord = signals.get_shutdown()
+            if coord is not None:
+                coord.unregister_process(self._shutdown_token)
 
 
 class Supervisor:
@@ -199,8 +260,15 @@ class Supervisor:
     retry:
         The :class:`RetryPolicy` governing worker attempts and backoff.
     timeout:
-        Per-task wall-clock seconds before a worker is presumed hung,
-        killed and its task rescheduled.  ``None`` disables the timeout.
+        **Stall** seconds before a worker is presumed hung.  This is not
+        a wall-clock cap on the cell: workers heartbeat their progress
+        counter (ticked by the hot loops every
+        :data:`~repro.runtime.signals.HEARTBEAT_CHUNK` events), and a
+        worker is killed — and its task rescheduled — only when the
+        counter stops advancing for ``timeout`` seconds.  A slow but
+        alive paper-scale cell therefore never trips the watchdog, while
+        a genuinely hung worker still dies within ``timeout`` of its
+        last progress.  ``None`` disables stall detection entirely.
     fault_plan:
         Optional deterministic :class:`FaultPlan` (tests only).
     worker_rlimit_bytes:
@@ -217,8 +285,13 @@ class Supervisor:
         engine's degradation ladder hangs off.
     """
 
-    #: Upper bound on one event-loop wait (keeps deadline checks timely).
+    #: Upper bound on one event-loop wait (keeps deadline checks timely,
+    #: and bounds how stale the shutdown-flag poll can get).
     POLL_INTERVAL = 0.25
+    #: After a shutdown request: how long to wait for in-flight cells to
+    #: finish (and be journaled) before cancelling them.  Kept well under
+    #: the "< 5 s to exit" budget.
+    DRAIN_GRACE = 1.5
 
     def __init__(self, runner: Callable[[Any], Any], *, jobs: int = 1,
                  retry: Optional[RetryPolicy] = None,
@@ -236,6 +309,11 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.worker_rlimit_bytes = worker_rlimit_bytes
         self.oom_action = oom_action
+        #: Worker heartbeat period: at least 4 samples per stall window
+        #: so one lost/late beat cannot look like a stall, capped at 1 s
+        #: so heartbeats stay cheap on long windows.
+        self.heartbeat_interval = (max(0.02, min(1.0, timeout / 4))
+                                   if timeout is not None else 1.0)
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[Any], *,
@@ -270,6 +348,7 @@ class Supervisor:
     # ------------------------------------------------------------------
     def _run_serial_only(self, todo, results, on_result) -> None:
         for att in todo:
+            signals.check_interrupt()
             try:
                 results[att.idx] = self._attempt_serial(att)
             except CellFailedError:
@@ -299,7 +378,7 @@ class Supervisor:
                 self._note_failure(att, action="retry" if retrying
                                    else "abort")
                 if retrying:
-                    time.sleep(self.retry.delay(att.attempts))
+                    self.retry.sleep(att.attempts)
                 continue
             rec.event("task.done", cell=_task_attr(att.task),
                       attempt=att.attempts)
@@ -335,11 +414,13 @@ class Supervisor:
     # supervised pool execution
     # ------------------------------------------------------------------
     def _run_pool(self, todo, results, on_result, tasks) -> None:
-        global _WORKER_RUNNER, _WORKER_FAULTS, _WORKER_RLIMIT
+        global _WORKER_RUNNER, _WORKER_FAULTS, _WORKER_RLIMIT, \
+            _WORKER_HEARTBEAT
         ctx = multiprocessing.get_context("fork")
         _WORKER_RUNNER = self.runner
         _WORKER_FAULTS = self.fault_plan
         _WORKER_RLIMIT = self.worker_rlimit_bytes
+        _WORKER_HEARTBEAT = self.heartbeat_interval
         workers: List[_Worker] = []
         wid = itertools.count()
         pending = deque(todo)
@@ -352,6 +433,10 @@ class Supervisor:
             for _ in range(min(self.jobs, len(todo))):
                 workers.append(_Worker(ctx, next(wid)))
             while outstanding > len(fallback):
+                coord = signals.get_shutdown()
+                if coord is not None and coord.requested:
+                    self._drain_interrupted(workers, results, todo,
+                                            on_result)
                 now = time.monotonic()
                 self._assign_ready(workers, pending, now)
                 wait_for, busy = [], []
@@ -381,10 +466,12 @@ class Supervisor:
             _WORKER_RUNNER = None
             _WORKER_FAULTS = None
             _WORKER_RLIMIT = None
+            _WORKER_HEARTBEAT = None
         # Degraded path: cells that repeatedly failed in workers get one
         # last serial in-process attempt each.
         rec = get_recorder()
         for att in fallback:
+            signals.check_interrupt()
             att.history.append({"attempt": att.attempts + 1,
                                 "where": "serial-fallback", "error": None})
             rec.event("task.assigned", cell=_task_attr(att.task),
@@ -439,6 +526,9 @@ class Supervisor:
             records = None
             try:
                 msg = w.conn.recv()
+                if msg and msg[0] == "hb":
+                    self._note_heartbeat(w, msg)
+                    return 0
                 if len(msg) >= 4:
                     idx, ok, payload, records = msg[:4]
                 else:  # legacy 3-tuple reply (no telemetry channel)
@@ -508,7 +598,35 @@ class Supervisor:
             kind="memory", cell=att.task, attempts=att.history,
             partial=partial)
 
+    def _note_heartbeat(self, w, msg) -> None:
+        """Fold one ``("hb", idx, progress, cell)`` liveness report.
+
+        The stall deadline is pushed out only when the progress counter
+        *advanced* since the previous sample — a heartbeat thread keeps
+        beating inside a worker stuck in ``time.sleep`` or a foreign
+        C call, so mere liveness must not count as progress.  The first
+        sample after an assignment only establishes the baseline (the
+        assignment itself already armed the deadline).
+        """
+        _, idx, progress, cellattr = msg
+        att = w.current
+        if att is None or att.idx != idx:
+            return  # stale beat from a task that already replied
+        advanced = (w.last_progress is not None
+                    and progress > w.last_progress)
+        w.last_progress = progress
+        if advanced and self.timeout is not None:
+            w.deadline = time.monotonic() + self.timeout
+        get_recorder().metric("worker.heartbeat", progress, unit="events",
+                              cell=cellattr, worker_pid=w.process.pid)
+
     def _reap_timeouts(self, workers, pending, fallback, ctx, wid) -> None:
+        """Kill workers whose progress counter stalled for ``timeout``.
+
+        ``deadline`` is armed at assignment and re-armed by every
+        heartbeat that shows progress, so only a genuinely frozen worker
+        ever reaches it (see :meth:`_note_heartbeat`).
+        """
         if self.timeout is None:
             return
         now = time.monotonic()
@@ -517,12 +635,70 @@ class Supervisor:
                 continue
             att, w.current = w.current, None
             att.history.append({"attempt": att.attempts, "where": "worker",
-                                "error": f"timed out after {self.timeout}s",
+                                "error": f"no progress for {self.timeout}s "
+                                         "(stalled)",
                                 "kind": "hang"})
             w.stop(kill=True)
             workers.remove(w)
             workers.append(_Worker(ctx, next(wid)))
             self._reschedule(att, pending, fallback)
+
+    def _drain_interrupted(self, workers, results, todo, on_result) -> None:
+        """Graceful-shutdown endgame for the pool (first SIGINT/SIGTERM).
+
+        Stops dispatching, gives in-flight cells :data:`DRAIN_GRACE`
+        seconds to finish (journaling each result via ``on_result``),
+        then abandons whatever is still running and raises
+        :class:`~repro.errors.SweepInterrupted`.  The caller's
+        ``finally`` kills the workers; abandoned cells simply stay out
+        of the journal, so ``--resume`` re-runs exactly those.
+        """
+        rec = get_recorder()
+        busy = [w for w in workers if w.current is not None]
+        rec.event("shutdown.requested", level="warning", where="pool",
+                  in_flight=len(busy))
+        logger.warning("shutdown requested: draining %d in-flight cell(s), "
+                       "%.1fs grace", len(busy), self.DRAIN_GRACE)
+        deadline = time.monotonic() + self.DRAIN_GRACE
+        while busy:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            ready = multiprocessing.connection.wait(
+                [w.conn for w in busy], timeout=remaining)
+            for w in busy:
+                if w.conn not in ready:
+                    continue
+                try:
+                    msg = w.conn.recv()
+                except (EOFError, OSError):
+                    w.current = None  # died mid-drain: leave unjournaled
+                    continue
+                if msg and msg[0] == "hb":
+                    continue
+                idx, ok, payload = msg[0], msg[1], msg[2]
+                records = msg[3] if len(msg) >= 4 else None
+                if records:
+                    rec.ingest(records)
+                att, w.current = w.current, None
+                if ok and att is not None and att.idx == idx:
+                    results[att.idx] = payload
+                    rec.event("task.done", cell=_task_attr(att.task),
+                              attempt=att.attempts)
+                    if on_result is not None:
+                        on_result(att.task, payload)
+            busy = [w for w in workers if w.current is not None]
+        cancelled = [w.current.task for w in workers
+                     if w.current is not None]
+        for task in cancelled:
+            rec.event("task.failed", level="warning",
+                      cell=_task_attr(task), fail_kind="interrupted",
+                      action="abandon")
+        partial = {a.task: results[a.idx] for a in todo if a.idx in results}
+        raise SweepInterrupted(
+            f"sweep interrupted: {len(partial)} cell(s) journaled, "
+            f"{len(cancelled)} in-flight cell(s) cancelled",
+            completed_cells=len(partial), partial=partial)
 
     def _reschedule(self, att, pending, fallback) -> int:
         """Queue a failed attempt for retry or the serial fallback."""

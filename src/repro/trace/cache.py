@@ -197,8 +197,14 @@ class WorkloadTraceCache:
         self._memory: Optional[Dict[str, Trace]] = {} if memory else None
         # Opening the cache adopts responsibility for its hygiene: drop
         # all but the newest quarantined file per key (satellite of the
-        # corruption hardening — evidence is bounded, not unbounded).
+        # corruption hardening — evidence is bounded, not unbounded) and
+        # reap `*.tmp.npz` siblings leaked by writers that were SIGKILLed
+        # between create and atomic rename (the age guard in gc_stale_tmp
+        # protects writes concurrently in flight from another process).
+        from ..runtime.resources import gc_stale_tmp
+
         gc_quarantined(self.directory)
+        gc_stale_tmp(self.directory)
 
     # ------------------------------------------------------------------
     def _resolve(self, workload: Union[str, object]):

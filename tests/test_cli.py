@@ -3,6 +3,12 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import (
+    EXIT_COMPLETED,
+    EXIT_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_RESOURCE_EXHAUSTED,
+)
 from repro.trace import TraceBuilder, save_text
 from repro.trace.io import save_npz
 
@@ -112,3 +118,81 @@ class TestCommands:
         assert main(["attribute", "MATMUL24", "--block", "32"]) == 0
         out = capsys.readouterr().out
         assert "misses by data structure" in out
+
+
+class TestExitCodeContract:
+    """The documented process exit codes are part of the CLI's API:
+    wrappers (CI, the chaos harness, operators' shell scripts) dispatch
+    on them, so the numeric values are frozen here."""
+
+    def test_constant_values_are_frozen(self):
+        assert EXIT_COMPLETED == 0
+        assert EXIT_FAILED == 2
+        assert EXIT_RESOURCE_EXHAUSTED == 3
+        assert EXIT_INTERRUPTED == 75  # sysexits.h EX_TEMPFAIL: retryable
+
+    def test_constants_are_distinct_and_leave_one_free(self):
+        codes = {EXIT_COMPLETED, EXIT_FAILED, EXIT_RESOURCE_EXHAUSTED,
+                 EXIT_INTERRUPTED}
+        assert len(codes) == 4
+        # validate's "trace has races" verdict uses plain exit 1 and must
+        # never collide with an error class.
+        assert 1 not in codes
+
+    def test_success_maps_to_exit_completed(self, trace_file):
+        assert main(["classify", trace_file, "--block", "8"]) \
+            == EXIT_COMPLETED
+
+    def test_repro_error_maps_to_exit_failed(self, capsys):
+        assert main(["classify", "NOT_A_THING"]) == EXIT_FAILED
+        assert "error:" in capsys.readouterr().err
+
+    def test_resource_exhaustion_maps_to_exit_3(self, trace_file, capsys,
+                                                monkeypatch):
+        from repro import cli
+        from repro.errors import ResourceExhaustedError
+
+        def explode(args):
+            raise ResourceExhaustedError("memory budget exceeded",
+                                         kind="memory")
+
+        # Drive main() through its own parser, swapping in a handler
+        # that fails the way an over-budget sweep does.
+        real_parse = cli.build_parser
+
+        def patched_parser():
+            p = real_parse()
+            for action in p._actions:
+                if action.dest == "command":
+                    action.choices["classify"].set_defaults(func=explode)
+            return p
+
+        monkeypatch.setattr(cli, "build_parser", patched_parser)
+        rc = cli.main(["classify", trace_file])
+        assert rc == EXIT_RESOURCE_EXHAUSTED
+        assert "error:" in capsys.readouterr().err
+
+    def test_interrupt_maps_to_exit_75_with_resume_hint(self, trace_file,
+                                                        capsys,
+                                                        monkeypatch):
+        from repro import cli
+        from repro.errors import SweepInterrupted
+
+        def interrupted(args):
+            raise SweepInterrupted("sweep interrupted: 1 cell(s) journaled")
+
+        real_parse = cli.build_parser
+
+        def patched_parser():
+            p = real_parse()
+            for action in p._actions:
+                if action.dest == "command":
+                    action.choices["classify"].set_defaults(func=interrupted)
+            return p
+
+        monkeypatch.setattr(cli, "build_parser", patched_parser)
+        rc = cli.main(["classify", trace_file])
+        assert rc == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err  # tells the operator how to continue

@@ -301,19 +301,38 @@ class TestEngineFiniteCells:
         assert fractions[0] >= fractions[1] >= fractions[2]
 
     def test_finite_shard_partials_journaled_under_digest_keys(
-            self, tmp_path, mp3d_trace):
+            self, tmp_path, mp3d_trace, monkeypatch):
+        from repro.runtime.checkpoint import CheckpointJournal
+
         ckpt = str(tmp_path / "ckpt")
         engine = SweepEngine(mp3d_trace, shards=3, checkpoint_dir=ckpt)
+        # Spy on journal appends: partials are journaled as they finish
+        # but the post-sweep compaction folds absorbed ones away, so the
+        # digest-keying must be observed at record time.
+        recorded = []
+        orig_record = CheckpointJournal.record
+
+        def spy(self, cell, result):
+            recorded.append(tuple(cell))
+            return orig_record(self, cell, result)
+
+        monkeypatch.setattr(CheckpointJournal, "record", spy)
         (result,) = engine.run_grid([("finite", 64, "c64w4")])
         plan = engine.precompute.shard_plan(BlockMap(64), 3,
                                             by_cache_set(16))
-        journal_file = os.path.join(ckpt, f"{engine.trace_key}.jsonl")
-        keys = [tuple(json.loads(line)["cell"])
-                for line in open(journal_file, encoding="utf-8")]
         expected = {("finite-shard", 64, "c64w4", plan.digest, s)
                     for s in range(plan.num_shards)}
-        assert expected <= set(keys)
+        assert expected <= set(recorded)
+        assert ("finite", 64, "c64w4") in recorded
+        # After the grid completes the journal is compacted: the merged
+        # parent cell survives, its absorbed shard partials do not.
+        journal_file = os.path.join(ckpt, f"{engine.trace_key}.jsonl")
+        keys = [tuple(rec["cell"])
+                for rec in map(json.loads, open(journal_file,
+                                                encoding="utf-8"))
+                if "cell" in rec]
         assert ("finite", 64, "c64w4") in keys
+        assert not expected & set(keys)
 
     def test_resume_matches_fresh_run(self, tmp_path, mp3d_trace):
         ckpt = str(tmp_path / "ckpt")

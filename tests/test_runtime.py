@@ -255,7 +255,7 @@ class TestCheckpointResume:
         engine = SweepEngine(trace, checkpoint_dir=ckpt)
         journal_path = os.path.join(ckpt, f"{engine.trace_key}.jsonl")
         before = open(journal_path, "rb").read()
-        assert before.count(b"\n") == 3
+        assert before.count(b"\n") == 4  # versioned header + 3 records
 
         ran = []
         pre = engine.precompute
@@ -267,7 +267,7 @@ class TestCheckpointResume:
         # only the two incomplete cells were executed and appended.
         after = open(journal_path, "rb").read()
         assert after.startswith(before)
-        assert after.count(b"\n") == len(cells)
+        assert after.count(b"\n") == len(cells) + 1  # + header
         assert ran == [tuple(c) for c in cells[3:]]
         assert tuple(results) == clean_sweep.breakdowns
 

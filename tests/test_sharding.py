@@ -281,25 +281,39 @@ def test_classifier_partition_merges_bit_identical(trace, bb, shards):
 class TestShardCheckpoint:
     CELLS = [("protocol", 64, "OTF"), ("protocol", 64, "SD")]
 
-    def _journal_cells(self, ckpt, key):
+    def test_shard_partials_journaled_under_digest_keys(self, tmp_path,
+                                                        mp3d_trace,
+                                                        monkeypatch):
         import json
 
-        path = os.path.join(ckpt, f"{key}.jsonl")
-        with open(path) as fh:
-            return [tuple(json.loads(line)["cell"]) for line in fh]
+        from repro.runtime.checkpoint import CheckpointJournal
 
-    def test_shard_partials_journaled_under_digest_keys(self, tmp_path,
-                                                        mp3d_trace):
         ckpt = str(tmp_path)
+        # Observe journal appends at record time: after a successful grid
+        # the engine compacts the journal, dropping absorbed partials.
+        recorded = []
+        original = CheckpointJournal.record
+
+        def spy(journal, cell, result):
+            recorded.append(tuple(cell))
+            return original(journal, cell, result)
+
+        monkeypatch.setattr(CheckpointJournal, "record", spy)
         engine = SweepEngine(mp3d_trace, shards=2, checkpoint_dir=ckpt)
         engine.run_grid(self.CELLS)
-        recorded = self._journal_cells(ckpt, engine.trace_key)
         plan = engine.precompute.shard_plan(BlockMap(64), 2)
         for bb, name in ((64, "OTF"), (64, "SD")):
             for s in range(plan.num_shards):
                 assert ("protocol-shard", bb, name, plan.digest,
                         s) in recorded
             assert ("protocol", bb, name) in recorded
+        # Post-compaction the file keeps one line per merged parent cell
+        # (plus the header); the absorbed shard partials are gone.
+        path = os.path.join(ckpt, f"{engine.trace_key}.jsonl")
+        with open(path) as fh:
+            kept = [tuple(rec["cell"]) for rec in map(json.loads, fh)
+                    if "cell" in rec]
+        assert set(kept) == {("protocol", 64, "OTF"), ("protocol", 64, "SD")}
 
     def test_resume_reruns_only_incomplete_shards(self, tmp_path,
                                                   mp3d_trace):
