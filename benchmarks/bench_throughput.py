@@ -6,11 +6,12 @@ multi-million-event traces tractable), and pin the sweep engine's
 end-to-end speedup over the pre-refactor workflow (see
 ``test_fig5_sweep_end_to_end_speedup``)."""
 
+import gc
 import time
 
 import pytest
 
-from repro.analysis.engine import SweepEngine
+from repro.analysis.engine import SharedPrecompute, SweepEngine
 from repro.runtime.resources import peak_rss_bytes
 from repro.classify import (
     DuboisClassifier,
@@ -59,6 +60,58 @@ def test_protocol_throughput(benchmark, bench_json, mp3d200, protocol):
     bench_json(f"protocol/{protocol}/MP3D200/B64",
                mode="serial", events=len(mp3d200), events_per_sec=eps,
                max_rss_kb=rss_kb)
+
+
+@pytest.mark.parametrize("kind,which", [("classify", "dubois"),
+                                        ("protocol", "OTF")])
+def test_kernel_speedup(benchmark, bench_json, mp3d1000, kind, which):
+    """Kernel gate: the vectorized cells must deliver >= 5x single-core.
+
+    Both legs run the identical engine cell path
+    (:class:`SharedPrecompute` at paper scale, MP3D1000/B64) and must
+    produce bit-identical results; only the ``kernel`` mode differs.
+    Each round builds a fresh precompute and first runs the same cell at
+    B16 — that is a sweep's steady state (one shared precompute serves
+    every block size), so the timed B64 cell sees warm word-level tables
+    but a cold block view, symmetrically for both modes.
+    """
+    pytest.importorskip("numpy")
+
+    def cell_round(kernel):
+        pre = SharedPrecompute(mp3d1000, kernel=kernel)
+        run = (lambda bb: pre.run_classifier(which, bb)) if kind == "classify" \
+            else (lambda bb: pre.run_protocol(which, bb))
+        run(16)
+        t0 = time.perf_counter()
+        result = run(64)
+        return result, time.perf_counter() - t0
+
+    gc.collect()  # shed prior benchmarks' garbage outside the timed region
+    t_vec = t_int = 1e9
+    for _ in range(5):
+        res_vec, dt = cell_round("vectorized")
+        t_vec = min(t_vec, dt)
+    for _ in range(3):
+        res_int, dt = cell_round("interpreted")
+        t_int = min(t_int, dt)
+    assert res_vec == res_int  # same counters, not just faster
+
+    benchmark.pedantic(lambda: cell_round("vectorized")[0],
+                       rounds=1, iterations=1)
+    events = len(mp3d1000)
+    speedup = t_int / t_vec
+    eps = int(events / t_vec)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = eps
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    bench_json(f"kernel/{kind}-{which}/MP3D1000/B64", mode="vectorized",
+               events=events, events_per_sec=eps,
+               interpreted_events_per_sec=int(events / t_int),
+               vectorized_sec=round(t_vec, 4),
+               interpreted_sec=round(t_int, 4),
+               speedup=round(speedup, 2))
+    assert speedup >= 5.0, (
+        f"{kind}-{which} kernel speedup {speedup:.2f}x < 5x")
 
 
 def test_workload_generation_throughput(benchmark, bench_json):

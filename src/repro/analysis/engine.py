@@ -55,6 +55,13 @@ from ..errors import (
     InvariantViolationError,
     ResourceExhaustedError,
 )
+from ..kernels import (
+    CLASSIFIER_KERNELS,
+    KernelContext,
+    PROTOCOL_KERNELS,
+    resolve_kernel,
+    validate_kernel_mode,
+)
 from ..mem.addresses import BlockMap, PAPER_BLOCK_SIZES
 from ..obs import RunTelemetry, current_run
 from ..obs.recorder import get_recorder
@@ -172,13 +179,20 @@ class SharedPrecompute:
     * :meth:`per_processor_segments` — each processor's event positions.
     """
 
-    def __init__(self, trace: Trace):
+    def __init__(self, trace: Trace, kernel: str = "auto"):
         self.trace = trace
+        self.kernel = validate_kernel_mode(kernel)
         self.columns = trace.columns()
         self.data = self.columns.data_only()
         sync = self.columns.sync_indices()
         self.acquire_indices = sync[ACQUIRE]
         self.release_indices = sync[RELEASE]
+        #: Heartbeat/batch accounting of the most recent vectorized cell
+        #: (``{"rows": ..., "batches": ...}``), reset per :meth:`run_cell`
+        #: and surfaced as the ``kernel.batch`` telemetry metric.
+        self.last_kernel_stats: Dict[str, int] = {}
+        self._kctx = None
+        self._shard_ctx: Optional[Tuple[Tuple, KernelContext]] = None
         self._rows: Optional[Tuple[list, list, list]] = None
         self._blocks: Dict[int, list] = {}
         self._offset_bits: Dict[int, list] = {}
@@ -187,6 +201,40 @@ class SharedPrecompute:
         self._segments: Optional[List] = None
         self._shard_plans: Dict[Tuple[str, int, int], ShardPlan] = {}
         self._plans_by_digest: Dict[str, ShardPlan] = {}
+
+    def resolve_cell(self, kind: str, which) -> str:
+        """The execution path one cell kind takes under this precompute's
+        kernel mode (``"vectorized"`` or ``"interpreted"``)."""
+        return resolve_kernel(self.kernel, kind, which)
+
+    def kernel_context(self) -> "KernelContext":
+        """The full-batch vectorized context, built once per trace.
+
+        Word-granularity tables inside it are block-size independent, so
+        every vectorized cell of a sweep shares this one context; only
+        the per-block-size views differ (cached inside the context).
+        """
+        if self._kctx is None:
+            self._kctx = KernelContext.from_columns(self.data,
+                                                    self.trace.num_procs)
+        return self._kctx
+
+    def _shard_kernel_context(self, digest: str, shard: int,
+                              sel: np.ndarray) -> "KernelContext":
+        """An ephemeral context over one shard's data rows.
+
+        A shard keeps whole (block, processor) histories, so kernels over
+        the subset reproduce the oracle-on-subtrace exactly (the kernels'
+        order-only legality argument).  One slot is cached so the three
+        classifiers of a compare-shard share a context, like the full
+        batch does.
+        """
+        key = (digest, shard)
+        if self._shard_ctx is None or self._shard_ctx[0] != key:
+            ctx = KernelContext(self.data.proc[sel], self.data.op[sel],
+                                self.data.addr[sel], self.trace.num_procs)
+            self._shard_ctx = (key, ctx)
+        return self._shard_ctx[1]
 
     def data_rows(self) -> Tuple[list, list, list]:
         """``(procs, ops, addrs)`` of the data rows, decoded once."""
@@ -330,6 +378,13 @@ class SharedPrecompute:
                 f"unknown classifier {which!r}; known: "
                 f"{sorted(CLASSIFIERS)}") from None
         block_map = BlockMap(block_bytes)
+        if self.resolve_cell("classify", which) == "vectorized":
+            # data_refs counts every data row either way: the kernel sees
+            # the full batch, so nothing needs re-adding (the interpreted
+            # path's elision re-adds its dropped rows for the same total).
+            return CLASSIFIER_KERNELS[which](
+                self.kernel_context(), block_map,
+                stats=self.last_kernel_stats)
         clf = cls(self.trace.num_procs, block_map)
         if which == "dubois":
             rows, dropped = self.dubois_active_rows(block_map)
@@ -363,6 +418,11 @@ class SharedPrecompute:
         The trace's decoded event list is materialized once per process and
         shared by every protocol cell (the runner batching path).
         """
+        if self.resolve_cell("protocol", name) == "vectorized":
+            return PROTOCOL_KERNELS[name](
+                self.kernel_context(), BlockMap(block_bytes),
+                trace_name=self.trace.name or "<anonymous>",
+                stats=self.last_kernel_stats)
         protocol = make_protocol(name, self.trace.num_procs,
                                  BlockMap(block_bytes))
         return protocol.run(self.trace)
@@ -377,7 +437,23 @@ class SharedPrecompute:
 
     def run_protocol_shard(self, name: str, block_bytes: int,
                            digest: str, shard: int) -> ProtocolResult:
-        """Run one protocol over one block shard (a partial result)."""
+        """Run one protocol over one block shard (a partial result).
+
+        The vectorized path feeds the shard's data rows to the same
+        kernel the full cell uses (sync rows are no-ops for the kernelled
+        protocols), so shard partials merge bit-identically to both the
+        interpreted shards and the unsharded cell.
+        """
+        if self.resolve_cell("protocol", name) == "vectorized":
+            plan = self.plan_by_digest(digest)
+            block_map = BlockMap(block_bytes)
+            blocks = self.data.block_ids(block_map.offset_bits)
+            sel = plan.shard_of_rows(blocks) == shard
+            ctx = self._shard_kernel_context(digest, shard, sel)
+            return PROTOCOL_KERNELS[name](
+                ctx, block_map,
+                trace_name=self.trace.name or "<anonymous>",
+                stats=self.last_kernel_stats)
         return run_protocol_shard(name, self.trace, block_bytes,
                                   self.plan_by_digest(digest), shard)
 
@@ -407,6 +483,10 @@ class SharedPrecompute:
         plan = self.plan_by_digest(digest)
         blocks = self.data.block_ids(block_map.offset_bits)
         sel = plan.shard_of_rows(blocks) == shard
+        if self.resolve_cell("classify", which) == "vectorized":
+            ctx = self._shard_kernel_context(digest, shard, sel)
+            return CLASSIFIER_KERNELS[which](
+                ctx, block_map, stats=self.last_kernel_stats)
         clf = CLASSIFIERS[which](self.trace.num_procs, block_map)
         if which == "dubois":
             dropped = 0
@@ -463,10 +543,16 @@ class SharedPrecompute:
         off the wrapper is a single attribute check.
         """
         rec = get_recorder()
+        stats = self.last_kernel_stats = {}
         if not rec.active:
             return self._dispatch_cell(cell)
         kind = cell[0]
         name = "shard.run" if kind.endswith("-shard") else "cell.run"
+        base = kind[:-len("-shard")] if kind.endswith("-shard") else kind
+        try:
+            kernel = self.resolve_cell(base, cell[2])
+        except ConfigError:  # malformed cell: the dispatch will raise too
+            kernel = None
         try:
             dim = partition_dim_for(cell)
         except ConfigError:  # malformed spec: the dispatch will raise too
@@ -485,15 +571,20 @@ class SharedPrecompute:
         except BaseException:
             rec.span_complete(name, time.monotonic() - t0, status="error",
                               t=wall, cell=list(cell), rows=rows,
-                              partition_dim=dim_name)
+                              partition_dim=dim_name, kernel=kernel)
             raise
         dur = time.monotonic() - t0
         rec.span_complete(name, dur, t=wall, cell=list(cell), rows=rows,
-                          partition_dim=dim_name)
+                          partition_dim=dim_name, kernel=kernel)
         rec.metric("cell.rows", rows, cell=list(cell))
         if dur > 0:
             rec.metric("cell.events_per_sec", round(rows / dur, 1),
                        unit="events/s", cell=list(cell))
+        if stats.get("batches"):
+            rec.metric("kernel.batch", stats["batches"],
+                       cell=list(cell), rows=stats["rows"],
+                       events_per_batch=round(stats["rows"]
+                                              / stats["batches"], 1))
         return result
 
     def _dispatch_cell(self, cell: Cell):
@@ -564,6 +655,10 @@ class ExecutionOptions:
     #: Record run telemetry (spans, metrics, manifest) under this
     #: directory (``--telemetry``); ``None`` disables recording.
     telemetry_dir: Optional[str] = None
+    #: Execution-path selection (``--kernel``): ``auto`` runs vectorized
+    #: kernels where available, ``vectorized`` requires NumPy,
+    #: ``interpreted`` forces the streaming oracles everywhere.
+    kernel: str = "auto"
 
     def engine_kwargs(self) -> dict:
         return {"retry": self.retry, "timeout": self.timeout,
@@ -572,7 +667,8 @@ class ExecutionOptions:
                 "fault_plan": self.fault_plan,
                 "shards": self.shards,
                 "memory_budget": self.memory_budget,
-                "telemetry_dir": self.telemetry_dir}
+                "telemetry_dir": self.telemetry_dir,
+                "kernel": self.kernel}
 
 
 class SweepEngine:
@@ -655,8 +751,10 @@ class SweepEngine:
                  memory_budget: Optional[int] = None,
                  telemetry_dir: Optional[str] = None,
                  progress: bool = False,
-                 trace_key: Optional[str] = None):
+                 trace_key: Optional[str] = None,
+                 kernel: str = "auto"):
         self.trace = trace
+        self.kernel = validate_kernel_mode(kernel)
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
         self.retry = retry
         self.timeout = timeout
@@ -693,7 +791,8 @@ class SweepEngine:
     def precompute(self) -> SharedPrecompute:
         """The trace's shared derived columns (built lazily, cached)."""
         if self._precompute is None:
-            self._precompute = SharedPrecompute(self.trace)
+            self._precompute = SharedPrecompute(self.trace,
+                                                kernel=self.kernel)
         return self._precompute
 
     @property
@@ -810,7 +909,8 @@ class SweepEngine:
         return {"trace": self.trace.name, "jobs": self.jobs,
                 "shards": self.shards, "timeout": self.timeout,
                 "memory_budget": self.memory_budget,
-                "checkpoint_dir": self.checkpoint_dir}
+                "checkpoint_dir": self.checkpoint_dir,
+                "kernel": self.kernel}
 
     def _run_grid(self, cells: Sequence[Cell]) -> List:
         cells = [tuple(cell) for cell in cells]
@@ -819,7 +919,8 @@ class SweepEngine:
         completed: Dict[Tuple, object] = {}
         if self.checkpoint_dir is not None:
             journal = CheckpointJournal(self.checkpoint_dir or None,
-                                        self.trace_key)
+                                        self.trace_key,
+                                        kernel=self.kernel)
             completed = journal.load()
         resumed = set()
         if rec.active:
@@ -946,18 +1047,36 @@ class SweepEngine:
 
         if jobs > 1:
             # Warm the shared state in the parent so every forked worker
-            # inherits it instead of re-deriving it per process.  The
-            # Dubois keep mask matters most: it is an O(n log n) pass per
-            # block size that every classify/compare shard of a cell
-            # would otherwise redo, erasing the shard speedup.
-            pre.data_rows()
+            # inherits it instead of re-deriving it per process: decoded
+            # rows and Dubois keep masks for interpreted classify/compare
+            # tasks (O(n log n) per block size that every shard would
+            # otherwise redo), the kernel context's block-size-independent
+            # word tables for vectorized whole-cell tasks.  Vectorized
+            # shard subtasks build ephemeral per-shard contexts and
+            # cannot share the parent's.
+            warm_rows = warm_kernel = False
             for task in tasks:
                 base = task[0]
-                if base.endswith("-shard"):
+                shard_task = base.endswith("-shard")
+                if shard_task:
                     base = base[:-len("-shard")]
+                vectorized = (base in ("classify", "compare", "protocol")
+                              and pre.resolve_cell(base, task[2])
+                              == "vectorized")
+                if vectorized:
+                    warm_kernel = warm_kernel or not shard_task
+                    continue
+                if base in ("classify", "compare"):
+                    warm_rows = True
                 if base == "compare" or (base == "classify"
                                          and task[2] == "dubois"):
                     pre.dubois_keep_mask(BlockMap(task[1]))
+            if warm_rows:
+                pre.data_rows()
+            if warm_kernel:
+                ctx = pre.kernel_context()
+                ctx.word_last_rows()
+                ctx.word_remote_rows()
         supervisor = Supervisor(pre.run_cell, jobs=jobs, retry=self.retry,
                                 timeout=self.timeout,
                                 fault_plan=self.fault_plan,

@@ -78,15 +78,16 @@ def _engine_options(args):
     shards = getattr(args, "shards", None)
     memory_budget = getattr(args, "memory_budget", None)
     telemetry = getattr(args, "telemetry", None)
+    kernel = getattr(args, "kernel", "auto")
     if (retries is None and timeout is None and resume is None
             and not strict and shards is None and memory_budget is None
-            and telemetry is None):
+            and telemetry is None and kernel == "auto"):
         return None
     retry = RetryPolicy.from_retries(retries) if retries is not None else None
     return ExecutionOptions(retry=retry, timeout=timeout,
                             checkpoint_dir=resume, strict_invariants=strict,
                             shards=shards, memory_budget=memory_budget,
-                            telemetry_dir=telemetry)
+                            telemetry_dir=telemetry, kernel=kernel)
 
 
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
@@ -329,6 +330,16 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "stream and a queryable manifest.json, plus a "
                         "live progress line on stderr; render it later "
                         "with 'repro report DIR'")
+    p.add_argument("--kernel", choices=("auto", "vectorized", "interpreted"),
+                   default="auto",
+                   help="execution path for grid cells: vectorized NumPy "
+                        "kernels where available (classifiers and the "
+                        "infinite-cache OTF protocol; bit-identical to "
+                        "the streaming oracles), the interpreted "
+                        "per-event oracles everywhere, or auto "
+                        "(vectorized when NumPy is importable; the "
+                        "default).  Checkpoint journals record the "
+                        "choice, so --resume never mixes paths")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,0 +1,85 @@
+"""Vectorized protocol kernels.
+
+Only the infinite-cache on-the-fly protocol (OTF) has a kernel so far:
+its dynamics reduce exactly to the Dubois miss lifetimes (see
+:mod:`repro.protocols.lifetime` for the streaming proof that OTF's
+tracker produces the Dubois breakdown) plus three counter identities:
+
+* ``fetches`` — one per miss, i.e. the lifetime count;
+* ``invalidations_sent == invalidations_applied`` — every store
+  invalidates each remote copy exactly once and every copy drop *is*
+  such an invalidation, so both equal the number of lifetimes that do
+  not survive to the end of the batch.  A (block, processor) group's
+  last lifetime survives iff no remote store to the block postdates the
+  group's last access — the per-block two-top store summary answers
+  that without any per-event replay;
+* ``replacements`` and every other counter — zero (infinite caches,
+  write-through of the invalidate protocol is not modelled by OTF).
+
+Sync events are no-ops for OTF (its acquire/release handlers are the
+base class's), so the kernel consumes only data rows; a shard's
+replicated sync rows change nothing, exactly as in the interpreted path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..classify.breakdown import DuboisBreakdown
+from ..protocols.results import Counters, ProtocolResult
+from .classifiers import KernelContext, _Heartbeat
+
+__all__ = ["otf_kernel"]
+
+
+def otf_kernel(ctx: KernelContext, block_map, *, trace_name: str,
+               stats: Optional[Dict] = None) -> ProtocolResult:
+    """OTF over one batch of data rows, vectorized.
+
+    Bit-identical to ``make_protocol("OTF", num_procs, block_map)
+    .run(trace)`` over the same rows (with ``num_procs = ctx.num_procs``
+    and ``data_refs`` the batch's row count).
+    """
+    hb = _Heartbeat(ctx.n, stats)
+    view = ctx.block_view(block_map.offset_bits)
+    fetch, cold, dirty, ess = view.lifetimes(hb)
+    ncold = ~cold
+    ness = ~ess
+    breakdown = DuboisBreakdown(
+        pc=int((cold & ness & ~dirty).sum()),
+        cts=int((cold & ess).sum()),
+        cfs=int((cold & ness & dirty).sum()),
+        pts=int((ncold & ess).sum()),
+        pfs=int((ncold & ness).sum()),
+        data_refs=ctx.n,
+    )
+    fetches = len(fetch)
+    # Copies alive at the end of the batch: per (block, processor) group,
+    # only the last lifetime can survive, and it does iff the newest
+    # remote store to the block precedes the group's last access.
+    live = 0
+    if ctx.n:
+        order, newg, _, _ = view.groups()
+        last_pos = np.flatnonzero(np.append(newg[1:], True))
+        last_row = order[last_pos]
+        bid = view.bid[last_row]
+        pg = ctx.proc[last_row]
+        _, top_row, top_proc, second_row = view.store_summary()
+        remote_final = np.where(top_proc[bid] != pg,
+                                top_row[bid], second_row[bid])
+        live = int((remote_final < last_row).sum())
+    invalidations = fetches - live
+    hb.finish()
+    return ProtocolResult(
+        protocol="OTF",
+        trace_name=trace_name,
+        block_bytes=block_map.block_bytes,
+        num_procs=ctx.num_procs,
+        breakdown=breakdown,
+        counters=Counters(fetches=fetches,
+                          invalidations_applied=invalidations,
+                          invalidations_sent=invalidations),
+        replacement_misses=0,
+    )

@@ -1,0 +1,239 @@
+"""Sort-and-scan primitives shared by the vectorized kernels.
+
+Every kernel question is of the form "what happened most recently in my
+block (or word) before me?".  This module answers them with packed
+sorts plus O(n) passes instead of per-event state machines:
+
+* :func:`pack_order` — rows ordered by ``(key, row)``.  Packing the row
+  index into the sort key makes every value unique, so an *unstable*
+  sort is exact, and for the narrow key ranges synthetic traces use the
+  packed array fits ``uint32`` — roughly 10x faster than a stable
+  int64 argsort;
+* :func:`prev_same_index` — previous occurrence of each row's key;
+* :func:`store_runs` / :func:`last_store_tables` — the store
+  subsequence of a unit-sorted order and per-row last / last-remote
+  store positions (the two-top trick: within a unit, tracking the
+  newest store and the newest store by a different processor answers
+  "newest store by a processor other than me" for every processor);
+* :func:`unit_store_summary` — per-unit first / newest / newest-remote
+  store rows from a unit-sorted store subsequence.
+
+All positions are row indices into the batch being analysed, held as
+``int32`` (value arrays) indexed by ``int64`` orders (NumPy's fast
+indexing path).  Because every returned quantity is a *relative order*
+between rows of the same unit, running these over any row subset that
+keeps whole (unit, processor) histories intact — e.g. a block shard's
+rows, or the rows of units that have stores at all — yields results
+identical to slicing the full-batch answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NO_ROW", "pack_order", "prev_same_index", "dense_unique",
+           "regroup_monotone", "unit_ids", "store_runs",
+           "last_store_tables", "unit_store_summary"]
+
+#: Sentinel for "no such row" in int32 position arrays.
+NO_ROW = np.int32(-1)
+
+
+def pack_order(key: np.ndarray, key_max: int):
+    """``(order, sorted_key)`` with rows ordered by ``(key, row)``.
+
+    ``key_max`` bounds the key values (inclusive); it picks the
+    narrowest packing — ``uint32`` when key and index bits fit, else
+    ``int64``, else a stable argsort for astronomically wide keys.  The
+    sorted keys come back int32 when they fit (cheaper downstream
+    gathers and compares), int64 otherwise.
+    """
+    n = len(key)
+    if n == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    shift = max((n - 1).bit_length(), 1)
+    key_max = int(key_max)
+    top = (key_max << shift) | (n - 1)
+    skey_t = np.int32 if key_max < 1 << 31 else np.int64
+    if top < 1 << 32:
+        packed = (key.astype(np.uint32) << np.uint32(shift)
+                  | np.arange(n, dtype=np.uint32))
+        packed.sort()
+        order = (packed & np.uint32((1 << shift) - 1)).astype(np.int64)
+        skey = (packed >> np.uint32(shift)).astype(skey_t)
+    elif top < 1 << 63:
+        packed = ((key.astype(np.int64) << np.int64(shift))
+                  | np.arange(n, dtype=np.int64))
+        packed.sort()
+        order = packed & np.int64((1 << shift) - 1)
+        skey = (packed >> np.int64(shift)).astype(skey_t, copy=False)
+    else:  # pragma: no cover - keys this wide are densified first
+        order = np.argsort(key, kind="stable")
+        skey = key[order].astype(np.int64)
+    return order, skey
+
+
+def prev_same_index(key: np.ndarray, key_max: int) -> np.ndarray:
+    """``prev[i]`` = greatest ``j < i`` with ``key[j] == key[i]``, else -1.
+
+    Adjacency in ``(key, row)`` order is exactly "previous occurrence".
+    """
+    n = len(key)
+    prev = np.full(n, NO_ROW, dtype=np.int32)
+    if n > 1:
+        order, sk = pack_order(key, key_max)
+        same = np.flatnonzero(sk[1:] == sk[:-1]) + 1
+        prev[order[same]] = order[same - 1]
+    return prev
+
+
+def dense_unique(values: np.ndarray):
+    """``(unique_sorted, dense)`` with ``values == unique_sorted[dense]``."""
+    uniq, dense = np.unique(values, return_inverse=True)
+    return uniq, dense.reshape(-1).astype(np.int64, copy=False)
+
+
+def regroup_monotone(dense: np.ndarray, mapped: np.ndarray):
+    """Coarser dense ids after collapsing unique values through a
+    non-decreasing map.
+
+    ``mapped`` is ``f(unique_sorted)`` for a monotone ``f`` (e.g.
+    ``unique_words >> offset_bits`` maps words to blocks): equal mapped
+    values are contiguous, so the coarser ids are a change-point cumsum —
+    no second comparison sort.  Returns ``(ids_per_row, num_groups)``.
+    """
+    if len(mapped) == 0:
+        return np.empty(0, dtype=np.int64), 0
+    change = np.empty(len(mapped), dtype=bool)
+    change[0] = True
+    np.not_equal(mapped[1:], mapped[:-1], out=change[1:])
+    group_of_uniq = np.cumsum(change) - 1
+    return group_of_uniq[dense], int(group_of_uniq[-1]) + 1
+
+
+def unit_ids(values: np.ndarray):
+    """Per-row unit ids: ``(ids, num_units, unique_or_None)``.
+
+    Raw values serve directly as ids when their range is modest (the
+    synthetic traces use tiny address spaces), keeping the packed sort
+    keys narrow for free; sparse or huge ranges densify first, which
+    also guarantees the ids fit the int64 packing.
+    """
+    n = len(values)
+    vmax = int(values.max()) + 1 if n else 0
+    if vmax <= 4 * n + (1 << 16):
+        return values, vmax, None
+    uniq, dense = dense_unique(values)
+    return dense, len(uniq), uniq
+
+
+class StoreRuns:
+    """The store subsequence of one unit-sorted row order.
+
+    ``row`` / ``unit`` / ``proc`` are each store's batch row, unit id
+    and processor; ``other[k]`` is the batch row of the newest store to
+    the same unit *by a different processor* strictly before store ``k``
+    (-1 if none).
+    """
+
+    __slots__ = ("row", "row32", "unit", "proc", "other")
+
+    def __init__(self, row, unit, proc, other):
+        self.row = row
+        self.row32 = row.astype(np.int32)
+        self.unit = unit
+        self.proc = proc
+        self.other = other
+
+
+def store_runs(order: np.ndarray, sunit: np.ndarray, st: np.ndarray,
+               proc_small: np.ndarray) -> StoreRuns:
+    """Extract the store subsequence (see :class:`StoreRuns`).
+
+    ``st`` is the store mask gathered into sorted order; same-processor
+    runs break on unit or processor change, and the store preceding a
+    run is that run's "other" (two-top) value.
+    """
+    pos = np.flatnonzero(st)
+    row = order[pos]
+    unit = sunit[pos]
+    proc = proc_small[row]
+    m = len(pos)
+    if m == 0:
+        return StoreRuns(row, unit, proc, np.empty(0, dtype=np.int32))
+    brk = np.empty(m, dtype=bool)
+    brk[0] = True
+    brk[1:] = (unit[1:] != unit[:-1]) | (proc[1:] != proc[:-1])
+    run_first = np.maximum.accumulate(
+        np.where(brk, np.arange(m, dtype=np.int64), 0))
+    pi = run_first - 1
+    has = pi >= 0
+    pis = np.where(has, pi, 0)
+    has &= unit[pis] == unit
+    other = np.where(has, row[pis], np.int64(-1)).astype(np.int32)
+    return StoreRuns(row, unit, proc, other)
+
+
+def last_store_tables(order: np.ndarray, sunit: np.ndarray,
+                      st: np.ndarray, runs: StoreRuns,
+                      proc_small: np.ndarray):
+    """Per-row last / last-remote store positions, in *sorted* order.
+
+    Returns ``(last, remote)`` (each int32, aligned with ``order``):
+    the newest store to the row's unit strictly before it, by any / by
+    a different processor.  The newest store before a row is the store
+    subsequence entry just before the row's exclusive store count; when
+    that store was written by the row's own processor, its two-top
+    "other" value is exactly the row's newest remote store.
+    """
+    n = len(order)
+    if len(runs.row) == 0:
+        empty = np.full(n, NO_ROW, dtype=np.int32)
+        return empty, empty
+    j = np.cumsum(st, dtype=np.int64)
+    np.subtract(j, st, out=j, casting="unsafe")
+    j -= 1
+    valid = j >= 0
+    js = np.maximum(j, 0, out=j)
+    valid &= runs.unit[js] == sunit
+    last = np.where(valid, runs.row32[js], NO_ROW)
+    remote = np.where(runs.proc[js] != proc_small[order], last,
+                      np.where(valid, runs.other[js], NO_ROW))
+    return last, remote
+
+
+def unit_store_summary(unit: np.ndarray, row: np.ndarray,
+                       proc: np.ndarray, num_units: int):
+    """Per-unit store summary from a unit-sorted store subsequence.
+
+    Returns ``(first_row, top_row, top_proc, second_row)``: each unit's
+    oldest store, newest store, its writer, and the newest store by a
+    different processor (-1 where absent).  A unit's stores are
+    contiguous, so the first/newest are the run boundaries and the
+    newest-remote is the two-top "other" value at the unit's last store.
+    """
+    first_row = np.full(num_units, -1, dtype=np.int64)
+    top_row = np.full(num_units, -1, dtype=np.int64)
+    top_proc = np.full(num_units, -1, dtype=np.int64)
+    second_row = np.full(num_units, -1, dtype=np.int64)
+    m = len(unit)
+    if m:
+        brk = np.empty(m, dtype=bool)
+        brk[0] = True
+        brk[1:] = (unit[1:] != unit[:-1]) | (proc[1:] != proc[:-1])
+        run_first = np.maximum.accumulate(
+            np.where(brk, np.arange(m, dtype=np.int64), 0))
+        pi = run_first - 1
+        has = pi >= 0
+        pis = np.where(has, pi, 0)
+        has &= unit[pis] == unit
+        other = np.where(has, row[pis], np.int64(-1))
+        ufirst = np.flatnonzero(
+            np.concatenate(([True], unit[1:] != unit[:-1])))
+        ulast = np.append(ufirst[1:], m) - 1
+        present = unit[ufirst]
+        first_row[present] = row[ufirst]
+        top_row[present] = row[ulast]
+        top_proc[present] = proc[ulast]
+        second_row[present] = other[ulast]
+    return first_row, top_row, top_proc, second_row

@@ -94,8 +94,8 @@ class _CellStats:
 
     __slots__ = ("trace_key", "cell", "status", "duration_s", "rows",
                  "attempts", "failed_attempts", "shards", "plan_digest",
-                 "partition_dim", "predicted_bytes", "observed_rss_kb",
-                 "result_sha256", "order")
+                 "partition_dim", "kernel", "predicted_bytes",
+                 "observed_rss_kb", "result_sha256", "order")
 
     def __init__(self, trace_key: str, cell: Tuple, order: int):
         self.trace_key = trace_key
@@ -108,6 +108,7 @@ class _CellStats:
         self.shards = 0
         self.plan_digest: Optional[str] = None
         self.partition_dim: Optional[str] = None
+        self.kernel: Optional[str] = None
         self.predicted_bytes: Optional[int] = None
         self.observed_rss_kb: Optional[int] = None
         self.result_sha256: Optional[str] = None
@@ -128,6 +129,7 @@ class _CellStats:
             "shards": self.shards,
             "plan_digest": self.plan_digest,
             "partition_dim": self.partition_dim,
+            "kernel": self.kernel,
             "predicted_bytes": self.predicted_bytes,
             "observed_rss_kb": self.observed_rss_kb,
             "result_sha256": self.result_sha256,
@@ -325,6 +327,8 @@ class RunTelemetry:
         stats = self._stats(self._current_trace_key, cell)
         if attrs.get("partition_dim"):
             stats.partition_dim = attrs["partition_dim"]
+        if attrs.get("kernel"):
+            stats.kernel = attrs["kernel"]
         if name == "shard.run":
             stats.duration_s += float(record.get("dur_s", 0.0))
             stats.rows += int(attrs.get("rows", 0) or 0)

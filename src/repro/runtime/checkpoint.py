@@ -54,8 +54,9 @@ from ..protocols.results import Counters, ProtocolResult
 _VERSION = 1
 
 #: Version of the journal *file* format (the header line); bump when the
-#: record schema or result encoding changes incompatibly.
-JOURNAL_VERSION = 2
+#: record schema or result encoding changes incompatibly.  v3 added the
+#: execution-path (kernel) binding to the header digest.
+JOURNAL_VERSION = 3
 
 #: Marker distinguishing the header line from cell records.
 _HEADER_KIND = "repro-journal"
@@ -68,14 +69,21 @@ def _code_version() -> str:
     return repro.__version__
 
 
-def journal_digest(trace_key: str) -> str:
-    """Digest binding a journal to the code that wrote it.
+def journal_digest(trace_key: str, kernel: Optional[str] = None) -> str:
+    """Digest binding a journal to the code and execution path that wrote it.
 
-    Covers the journal format version, the ``repro`` release and the
-    trace key — the three things that decide whether old records may be
-    mixed with fresh computations.
+    Covers the journal format version, the ``repro`` release, the
+    *effective* kernel mode (``vectorized``/``interpreted`` — ``None``
+    resolves ``auto`` for this process) and the trace key — the things
+    that decide whether old records may be mixed with fresh computations.
+    A resumed sweep under a different ``--kernel`` therefore recomputes
+    from scratch instead of mixing execution paths.
     """
-    blob = f"journal:{JOURNAL_VERSION}|code:{_code_version()}|key:{trace_key}"
+    from ..kernels import effective_kernel_mode
+    if kernel is None:
+        kernel = effective_kernel_mode("auto")
+    blob = (f"journal:{JOURNAL_VERSION}|code:{_code_version()}"
+            f"|kernel:{kernel}|key:{trace_key}")
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -166,11 +174,21 @@ class CheckpointJournal:
     trace_key:
         The trace's identity; records with a different key are ignored on
         load, so a stale journal can never poison a new trace's sweep.
+    kernel:
+        The *effective* kernel mode whose results this journal holds
+        (``"vectorized"`` or ``"interpreted"``; ``None`` resolves
+        ``auto`` for this process).  Part of the header digest, so
+        resuming under a different mode raises
+        :class:`~repro.errors.StaleJournalError` instead of mixing
+        execution paths.
     """
 
-    def __init__(self, directory: Optional[str], trace_key: str):
+    def __init__(self, directory: Optional[str], trace_key: str,
+                 kernel: Optional[str] = None):
+        from ..kernels import effective_kernel_mode
         self.directory = directory or default_checkpoint_dir()
         self.trace_key = trace_key
+        self.kernel = effective_kernel_mode(kernel or "auto")
         self.path = os.path.join(self.directory, f"{trace_key}.jsonl")
         self._fh = None
         #: Lines skipped or superseded during the last :meth:`load` — a
@@ -230,20 +248,25 @@ class CheckpointJournal:
         return json.dumps({"kind": _HEADER_KIND,
                            "journal_v": JOURNAL_VERSION,
                            "key": self.trace_key,
-                           "digest": journal_digest(self.trace_key),
+                           "kernel": self.kernel,
+                           "digest": journal_digest(self.trace_key,
+                                                    self.kernel),
                            "writer": _code_version()},
                           sort_keys=True)
 
     def _check_header(self, record: dict) -> None:
         """Reject a journal whose header digest no longer matches."""
-        if record.get("digest") == journal_digest(self.trace_key):
+        if record.get("digest") == journal_digest(self.trace_key,
+                                                  self.kernel):
             return
         writer = record.get("writer", "unknown")
+        theirs = record.get("kernel", "unknown")
         raise StaleJournalError(
             f"checkpoint journal {self.path} is stale: written by repro "
-            f"{writer} (journal format v{record.get('journal_v')}), but "
-            f"this is repro {_code_version()} (format v{JOURNAL_VERSION}). "
-            f"Results computed by different code must not be mixed -- "
+            f"{writer} (journal format v{record.get('journal_v')}, kernel "
+            f"{theirs}), but this is repro {_code_version()} (format "
+            f"v{JOURNAL_VERSION}, kernel {self.kernel}). Results computed "
+            f"by different code or execution paths must not be mixed -- "
             f"delete the journal or run without --resume to recompute.")
 
     def _iter_records(self):
