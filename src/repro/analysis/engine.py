@@ -96,6 +96,7 @@ from ..runtime.resources import (
 from ..runtime import signals
 from ..runtime.retry import RetryPolicy
 from ..runtime.supervisor import Supervisor
+from ..runtime.transport import TcpTransport, handshake_spec, parse_hosts
 from ..trace.cache import WorkloadTraceCache, workload_cache_key
 from ..trace.events import ACQUIRE, RELEASE, STORE
 from ..trace.trace import Trace
@@ -659,6 +660,9 @@ class ExecutionOptions:
     #: kernels where available, ``vectorized`` requires NumPy,
     #: ``interpreted`` forces the streaming oracles everywhere.
     kernel: str = "auto"
+    #: Remote worker runners joining the sweep (``--hosts h1:p,h2:p``);
+    #: ``None`` keeps execution on this machine.
+    hosts: Optional[str] = None
 
     def engine_kwargs(self) -> dict:
         return {"retry": self.retry, "timeout": self.timeout,
@@ -668,7 +672,8 @@ class ExecutionOptions:
                 "shards": self.shards,
                 "memory_budget": self.memory_budget,
                 "telemetry_dir": self.telemetry_dir,
-                "kernel": self.kernel}
+                "kernel": self.kernel,
+                "hosts": self.hosts}
 
 
 class SweepEngine:
@@ -739,6 +744,16 @@ class SweepEngine:
         Stable identity of the trace for checkpoint keying; defaults to
         the workload's trace-cache key via :meth:`for_workload`, else a
         content hash of the trace arrays.
+    hosts:
+        Remote worker runners joining the fan-out (``--hosts``): a
+        ``"host:port,host:port"`` spec or a pre-parsed list of
+        ``(host, port)`` pairs, each one a
+        ``python -m repro.runtime.remote_worker`` process.  The two-level
+        scheduler dispatches cells (and shard subtasks) to them over
+        framed TCP next to the local fork workers; a versioned handshake
+        refuses hosts whose release, journal format, kernel mode or trace
+        identity differ, and a lost host's cells are reassigned to the
+        survivors.  ``None`` (default) keeps the sweep on this machine.
     """
 
     def __init__(self, trace: Trace, *, jobs: int = 1,
@@ -752,7 +767,8 @@ class SweepEngine:
                  telemetry_dir: Optional[str] = None,
                  progress: bool = False,
                  trace_key: Optional[str] = None,
-                 kernel: str = "auto"):
+                 kernel: str = "auto",
+                 hosts=None):
         self.trace = trace
         self.kernel = validate_kernel_mode(kernel)
         self.jobs = 1 if jobs == 1 else _resolve_jobs(jobs)
@@ -768,6 +784,14 @@ class SweepEngine:
         self.telemetry_dir = telemetry_dir
         self.progress = progress
         self._trace_key = trace_key
+        if isinstance(hosts, str):
+            hosts = parse_hosts(hosts)
+        self.hosts = list(hosts) if hosts else None
+        if self.hosts and timeout is None:
+            warn_resource(
+                "remote hosts configured without --timeout: a partitioned "
+                "host would stall the sweep undetected (the stall watchdog "
+                "is also the heartbeat-silence detector)")
         self._precompute: Optional[SharedPrecompute] = None
 
     @classmethod
@@ -1077,11 +1101,34 @@ class SweepEngine:
                 ctx = pre.kernel_context()
                 ctx.word_last_rows()
                 ctx.word_remote_rows()
+        transports = None
+        if self.hosts:
+            from ..kernels import effective_kernel_mode
+
+            def task_meta(task):
+                # Shard subtasks carry only the plan *digest*; a remote
+                # host rebuilds the plan from (block size, dimension,
+                # num_shards) and verifies the digest, so it also needs
+                # the shard count on the wire.
+                if (isinstance(task, tuple) and task
+                        and isinstance(task[0], str)
+                        and task[0].endswith("-shard")):
+                    return {"num_shards":
+                            pre.plan_by_digest(task[3]).num_shards}
+                return {}
+
+            transports = [TcpTransport(
+                self.hosts,
+                handshake_spec(trace_key=self.trace_key,
+                               kernel=effective_kernel_mode(self.kernel),
+                               workload=self.trace.name),
+                task_meta=task_meta)]
         supervisor = Supervisor(pre.run_cell, jobs=jobs, retry=self.retry,
                                 timeout=self.timeout,
                                 fault_plan=self.fault_plan,
                                 worker_rlimit_bytes=worker_cap,
-                                oom_action=oom_action)
+                                oom_action=oom_action,
+                                transports=transports)
         by_task = dict(zip(tasks, supervisor.run(
             tasks, completed=completed or None, on_result=on_result)))
         results = []

@@ -79,15 +79,17 @@ def _engine_options(args):
     memory_budget = getattr(args, "memory_budget", None)
     telemetry = getattr(args, "telemetry", None)
     kernel = getattr(args, "kernel", "auto")
+    hosts = getattr(args, "hosts", None)
     if (retries is None and timeout is None and resume is None
             and not strict and shards is None and memory_budget is None
-            and telemetry is None and kernel == "auto"):
+            and telemetry is None and kernel == "auto" and hosts is None):
         return None
     retry = RetryPolicy.from_retries(retries) if retries is not None else None
     return ExecutionOptions(retry=retry, timeout=timeout,
                             checkpoint_dir=resume, strict_invariants=strict,
                             shards=shards, memory_budget=memory_budget,
-                            telemetry_dir=telemetry, kernel=kernel)
+                            telemetry_dir=telemetry, kernel=kernel,
+                            hosts=hosts)
 
 
 def _load_trace(spec: str, cache: "WorkloadTraceCache | None" = None) -> Trace:
@@ -340,6 +342,14 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
                         "(vectorized when NumPy is importable; the "
                         "default).  Checkpoint journals record the "
                         "choice, so --resume never mixes paths")
+    p.add_argument("--hosts", default=None, metavar="H1:P,H2:P",
+                   help="remote worker runners joining the sweep (each a "
+                        "'python -m repro.runtime.remote_worker' process); "
+                        "cells are dispatched to them next to the local "
+                        "workers, a versioned handshake refuses "
+                        "incompatible hosts, and a lost host's cells are "
+                        "reassigned to the survivors (pair with --timeout "
+                        "so a partitioned host is detected)")
 
 
 def build_parser() -> argparse.ArgumentParser:

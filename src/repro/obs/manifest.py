@@ -187,6 +187,7 @@ class RunTelemetry:
             "retries": 0, "timeouts": 0, "oom_failures": 0,
             "ladder_steps": 0, "checkpoint_writes": 0,
             "heartbeats": 0, "interrupted_cells": 0,
+            "host_losses": 0,
         }
         self._current_trace_key: Optional[str] = None
         self._log_handler: Optional[TelemetryLogHandler] = None
@@ -396,6 +397,8 @@ class RunTelemetry:
                 self._counters["oom_failures"] += 1
             elif fail_kind == "interrupted":
                 self._counters["interrupted_cells"] += 1
+            elif fail_kind == "host_lost":
+                self._counters["host_losses"] += 1
             if attrs.get("action") == "retry":
                 self._counters["retries"] += 1
             cell = self._cell_of(attrs)

@@ -22,10 +22,23 @@ them survive partial failure:
   (SIGINT/SIGTERM → drain → resumable exit; second signal forces) and
   the progress counter behind the worker heartbeat / stall watchdog;
 * :mod:`~repro.runtime.chaos` — the seeded kill-and-resume soak harness
-  proving that interrupted sweeps converge to bit-identical results.
+  proving that interrupted sweeps converge to bit-identical results;
+* :mod:`~repro.runtime.transport` — pluggable worker transports: the
+  default local fork-pipe pool (:class:`LocalForkTransport`) and framed
+  TCP to remote worker runners (:class:`TcpTransport`) with versioned
+  handshakes, host-loss recovery and per-host quarantine;
+* :mod:`~repro.runtime.remote_worker` — the ``--hosts`` counterpart: a
+  runner process serving sweep cells over TCP
+  (``python -m repro.runtime.remote_worker --listen HOST:PORT``).
 """
 
-from .chaos import ChaosReport, CycleOutcome, chaos_soak
+from .chaos import (
+    HOST_ACTIONS,
+    ChaosReport,
+    CycleOutcome,
+    chaos_soak,
+    host_chaos,
+)
 from .checkpoint import CheckpointJournal, default_checkpoint_dir
 from .faults import (
     FaultInjectedError,
@@ -49,7 +62,11 @@ from .resources import (
     peak_rss_bytes,
     plan_admission,
 )
-from .resources import gc_stale_tmp
+from .resources import (
+    DEFAULT_TMP_MAX_AGE_S,
+    gc_stale_tmp,
+    resolve_tmp_max_age,
+)
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .signals import (
     HEARTBEAT_CHUNK,
@@ -60,6 +77,16 @@ from .signals import (
     note_progress,
 )
 from .supervisor import Supervisor
+from .transport import (
+    EndpointLostError,
+    LocalForkTransport,
+    TcpTransport,
+    Transport,
+    WorkerConfig,
+    WorkerEndpoint,
+    handshake_spec,
+    parse_hosts,
+)
 
 __all__ = [
     "Admission",
@@ -68,14 +95,22 @@ __all__ = [
     "CycleOutcome",
     "DEFAULT_FOOTPRINT_MODEL",
     "DEFAULT_RETRY_POLICY",
+    "DEFAULT_TMP_MAX_AGE_S",
+    "EndpointLostError",
     "FaultInjectedError",
     "FaultPlan",
     "FootprintModel",
     "HEARTBEAT_CHUNK",
+    "HOST_ACTIONS",
+    "LocalForkTransport",
     "RetryPolicy",
     "Rung",
     "ShutdownCoordinator",
     "Supervisor",
+    "TcpTransport",
+    "Transport",
+    "WorkerConfig",
+    "WorkerEndpoint",
     "apply_worker_rlimit",
     "chaos_soak",
     "check_interrupt",
@@ -90,9 +125,12 @@ __all__ = [
     "gc_stale_tmp",
     "get_shutdown",
     "graceful_shutdown",
+    "handshake_spec",
+    "host_chaos",
     "note_progress",
-    "parse_size",
+    "parse_hosts",
     "peak_rss_bytes",
     "plan_admission",
+    "resolve_tmp_max_age",
     "tear_jsonl_tail",
 ]

@@ -476,7 +476,31 @@ def dir_size_bytes(directory: str, suffixes: Tuple[str, ...] = ()) -> int:
     return total
 
 
-def gc_stale_tmp(directory: str, *, max_age_s: float = 3600.0,
+#: Default age (seconds) an orphaned ``*.tmp`` file must reach before
+#: :func:`gc_stale_tmp` removes it.  Overridable per deployment with
+#: ``$REPRO_TMP_MAX_AGE_S`` (float seconds) — long-running writers on a
+#: slow shared filesystem may need a larger guard, scratch dirs on CI a
+#: smaller one.
+DEFAULT_TMP_MAX_AGE_S = 3600.0
+
+
+def resolve_tmp_max_age(max_age_s: Optional[float] = None) -> float:
+    """The effective GC age guard: explicit arg, env override, default."""
+    if max_age_s is not None:
+        return max_age_s
+    env = os.environ.get("REPRO_TMP_MAX_AGE_S")
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            warn_resource(
+                f"ignoring invalid REPRO_TMP_MAX_AGE_S={env!r} "
+                f"(expected float seconds); using the "
+                f"{DEFAULT_TMP_MAX_AGE_S:.0f}s default")
+    return DEFAULT_TMP_MAX_AGE_S
+
+
+def gc_stale_tmp(directory: str, *, max_age_s: Optional[float] = None,
                  now: Optional[float] = None) -> int:
     """Remove orphaned temp files left behind by killed writers.
 
@@ -487,8 +511,12 @@ def gc_stale_tmp(directory: str, *, max_age_s: float = 3600.0,
     carries a ``.tmp`` segment (``foo.npz.1234.tmp.npz``,
     ``manifest.json.tmp``, ``<key>.jsonl.tmp``) and whose mtime is older
     than ``max_age_s`` — the age guard keeps a concurrently *live* writer
-    in another process safe.  Returns the number of files removed.
+    in another process safe.  ``max_age_s`` defaults to
+    ``$REPRO_TMP_MAX_AGE_S``, else :data:`DEFAULT_TMP_MAX_AGE_S`; a file
+    exactly at the guard age is stale (strict ``<`` keeps it only while
+    younger).  Returns the number of files removed.
     """
+    max_age_s = resolve_tmp_max_age(max_age_s)
     try:
         names = os.listdir(directory)
     except OSError:

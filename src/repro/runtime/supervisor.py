@@ -1,23 +1,33 @@
-"""Supervised fan-out of independent grid cells over fork workers.
+"""Supervised fan-out of independent grid cells over pluggable transports.
 
 ``SweepEngine.run_grid`` used to hand the grid to a bare ``pool.map``: one
 crashed worker, one hung cell or one raised exception aborted the whole
 sweep and discarded every completed cell.  :class:`Supervisor` replaces it
 with per-cell task tracking:
 
-* each worker is a dedicated ``fork`` process driven over its own duplex
-  pipe, so the supervisor always knows *which* cell a worker is running
-  and since when;
-* the event loop multiplexes result pipes **and** process sentinels via
-  :func:`multiprocessing.connection.wait` — a dead worker is noticed
-  immediately, not at ``join`` time;
-* a per-cell wall-clock timeout kills hung workers and reschedules their
-  cell;
+* each worker is a :class:`~repro.runtime.transport.WorkerEndpoint`
+  provided by a transport — a dedicated ``fork`` process driven over its
+  own duplex pipe (:class:`~repro.runtime.transport.LocalForkTransport`,
+  the default), or a remote worker runner over framed TCP
+  (:class:`~repro.runtime.transport.TcpTransport`) — so the supervisor
+  always knows *which* cell a worker is running and since when;
+* the event loop multiplexes reply channels **and** process sentinels via
+  :func:`multiprocessing.connection.wait` — a dead worker or a reset
+  connection is noticed immediately, not at ``join`` time;
+* a per-cell stall timeout kills hung workers and reschedules their cell;
 * failed/hung cells retry under a capped-exponential
   :class:`~repro.runtime.retry.RetryPolicy`; cells that keep failing in
   workers degrade to one serial in-process attempt (a fresh interpreter
   state is not required — cells are pure functions of the shared
   precompute);
+* a lost *host* (connection reset, torn frame, heartbeat silence) is a
+  ``host_lost`` failure: the cell is reassigned to surviving endpoints —
+  safe because dispatch is idempotent and keyed by the same checkpoint
+  keys ``--resume`` uses — while the transport's per-host ladder
+  reconnects under capped backoff and eventually quarantines a flapping
+  host.  When every transport is exhausted (all remote hosts dropped, no
+  local workers), the remaining cells fall back to serial in-process
+  execution instead of dying with the fleet;
 * only when the serial fallback also fails does the supervisor raise
   :class:`~repro.errors.CellFailedError`, carrying the cell, its attempt
   history and the partial results of every completed cell.
@@ -28,156 +38,43 @@ space via ``RLIMIT_AS`` (``worker_rlimit_bytes``) so an over-budget cell
 raises a clean ``MemoryError`` instead of being SIGKILLed mid-write, and
 every failure is *classified* — a worker-reported ``MemoryError`` and a
 SIGKILL/137 death are OOM-class, a nonzero exit or other signal is
-crash-class, a timeout is hang-class.  With ``oom_action="raise"`` an
-OOM-class failure aborts immediately with a structured
-:class:`~repro.errors.ResourceExhaustedError` (attempt history plus all
-partial results) so the sweep engine's degradation ladder can re-plan the
-run instead of blindly retrying the same oversized configuration.
+crash-class, a timeout is hang-class, a dead connection is host-class.
+With ``oom_action="raise"`` an OOM-class failure aborts immediately with
+a structured :class:`~repro.errors.ResourceExhaustedError` (attempt
+history plus all partial results) so the sweep engine's degradation
+ladder can re-plan the run instead of blindly retrying the same
+oversized configuration.
 
-Workers inherit their runner (and any fault plan) through module globals
-at fork time, so nothing is pickled — the same zero-copy trick the old
-pool used.
+Local fork workers inherit their runner (and any fault plan) through
+module globals at fork time, so nothing is pickled — the same zero-copy
+trick the old pool used.
 """
 
 from __future__ import annotations
 
-import itertools
 import logging
 import multiprocessing
 import multiprocessing.connection
-import threading
 import time
 import traceback
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import CellFailedError, ResourceExhaustedError, SweepInterrupted
-from ..obs import get_recorder, worker_begin
+from ..obs import get_recorder
 from . import signals
 from .faults import FaultPlan
-from .resources import apply_worker_rlimit, classify_exitcode, peak_rss_bytes
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .transport import (
+    EndpointLostError,
+    LocalForkTransport,
+    Transport,
+    WorkerConfig,
+    WorkerEndpoint,
+    _task_attr,
+)
 
 logger = logging.getLogger(__name__)
-
-# Fork-inherited worker state (set in the parent just before spawning).
-_WORKER_RUNNER: Optional[Callable[[Any], Any]] = None
-_WORKER_FAULTS: Optional[FaultPlan] = None
-_WORKER_RLIMIT: Optional[int] = None
-_WORKER_HEARTBEAT: Optional[float] = None
-
-
-def _task_attr(task):
-    """A task rendered for telemetry ``attrs`` (grid cells are tuples)."""
-    if isinstance(task, (tuple, list)):
-        return list(task)
-    return task
-
-
-def _failure_payload(exc: BaseException) -> dict:
-    """Structured failure reply: traceback text plus a failure class."""
-    kind = "error"
-    if isinstance(exc, MemoryError):
-        kind = "oom"
-    elif isinstance(exc, ResourceExhaustedError):
-        kind = "oom" if exc.kind == "memory" else "error"
-    return {"error": traceback.format_exc(limit=20), "kind": kind}
-
-
-def _heartbeat_loop(conn, send_lock, current, interval) -> None:
-    """Daemon thread: periodically report the worker's progress counter.
-
-    Sends ``("hb", idx, progress, cell)`` for the task in flight.  The
-    supervisor compares successive ``progress`` samples: a *slow* cell
-    keeps advancing the counter (the hot loops tick it every
-    :data:`~repro.runtime.signals.HEARTBEAT_CHUNK` events) while a *hung*
-    one freezes it — which is exactly the distinction the stall watchdog
-    needs.  Sends share ``send_lock`` with result replies so the two
-    never interleave on the pipe.
-    """
-    while True:
-        time.sleep(interval)
-        cur = current[0]
-        if cur is None:
-            continue
-        idx, task = cur
-        try:
-            with send_lock:
-                conn.send(("hb", idx, signals.progress_count(),
-                           _task_attr(task)))
-        except Exception:
-            return  # pipe gone: the worker is exiting
-
-
-def _worker_main(conn) -> None:
-    """Worker loop: receive ``("run", idx, task, attempt)``, send results.
-
-    Replies ``(idx, ok, payload, records)`` where ``records`` is the
-    worker's buffered telemetry (``None`` when telemetry is off) — the
-    child recorder installed by :func:`repro.obs.worker_begin` is drained
-    after every task so spans and metrics ride the existing reply pipe
-    back into the parent stream.  A ``("stop",)`` message (or a closed
-    pipe) ends the loop.  When the parent configured
-    ``worker_rlimit_bytes``, the worker soft-caps its address space
-    *relative to what fork inherited* before serving tasks, so an
-    over-budget cell dies as a classified ``MemoryError`` reply, never as
-    a kernel SIGKILL.
-
-    Workers drop the parent's inherited shutdown flag and ignore SIGINT
-    (:func:`repro.runtime.signals.reset_in_child`): on Ctrl-C the parent
-    alone coordinates the wind-down over the pipes.  When the parent
-    configured a heartbeat interval, a daemon thread reports liveness
-    between replies (see :func:`_heartbeat_loop`).
-    """
-    runner = _WORKER_RUNNER
-    faults = _WORKER_FAULTS
-    signals.reset_in_child()
-    recorder = worker_begin()
-    if _WORKER_RLIMIT is not None:
-        apply_worker_rlimit(_WORKER_RLIMIT)
-    send_lock = threading.Lock()
-    current: List = [None]  # [(idx, task)] while a task is in flight
-    if _WORKER_HEARTBEAT is not None:
-        threading.Thread(target=_heartbeat_loop,
-                         args=(conn, send_lock, current, _WORKER_HEARTBEAT),
-                         name="repro-heartbeat", daemon=True).start()
-    while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            return
-        if msg[0] == "stop":
-            return
-        _, idx, task, attempt = msg
-        current[0] = (idx, task)
-        try:
-            if faults is not None:
-                faults.apply_worker(task, attempt, idx)
-            result = runner(task)
-            ok, payload = True, result
-        except BaseException as exc:
-            ok, payload = False, _failure_payload(exc)
-        current[0] = None
-        records = None
-        if recorder is not None:
-            recorder.metric("worker.ru_maxrss_kb",
-                            peak_rss_bytes() // 1024, unit="kb",
-                            cell=_task_attr(task))
-            records = recorder.drain()
-        try:
-            with send_lock:
-                conn.send((idx, ok, payload, records))
-        except Exception:
-            # The result (or error) could not cross the pipe; report a
-            # sendable failure so the supervisor can retry the cell.
-            try:
-                with send_lock:
-                    conn.send((idx, False,
-                               {"error": "worker could not send result for "
-                                         f"task {idx}", "kind": "error"},
-                               None))
-            except Exception:
-                return
 
 
 class _Attempt:
@@ -193,70 +90,19 @@ class _Attempt:
         self.history: List[dict] = []
 
 
-class _Worker:
-    """One supervised fork worker and its pipe."""
-
-    __slots__ = ("process", "conn", "current", "deadline", "last_progress",
-                 "_shutdown_token")
-
-    def __init__(self, ctx, wid: int):
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(target=_worker_main, args=(child_conn,),
-                                   name=f"repro-supervised-{wid}", daemon=True)
-        self.process.start()
-        child_conn.close()
-        self.conn = parent_conn
-        self.current: Optional[_Attempt] = None
-        self.deadline: Optional[float] = None
-        #: Last heartbeat progress sample for the task in flight (None
-        #: until the first heartbeat after an assignment).
-        self.last_progress: Optional[int] = None
-        # Forced teardown (second Ctrl-C) runs os._exit, which skips the
-        # multiprocessing atexit reaping of daemon children — register so
-        # the coordinator can kill this worker directly.
-        coord = signals.get_shutdown()
-        self._shutdown_token = (coord.register_process(self.process)
-                                if coord is not None else None)
-
-    def assign(self, att: _Attempt, timeout: Optional[float]) -> None:
-        att.attempts += 1
-        self.current = att
-        self.last_progress = None
-        self.deadline = (time.monotonic() + timeout
-                         if timeout is not None else None)
-        self.conn.send(("run", att.idx, att.task, att.attempts))
-
-    def stop(self, *, kill: bool = False) -> None:
-        if kill and self.process.is_alive():
-            self.process.terminate()
-        else:
-            try:
-                self.conn.send(("stop",))
-            except Exception:
-                pass
-        self.process.join(timeout=2.0)
-        if self.process.is_alive():  # pragma: no cover - stubborn child
-            self.process.kill()
-            self.process.join(timeout=2.0)
-        self.conn.close()
-        if self._shutdown_token is not None:
-            coord = signals.get_shutdown()
-            if coord is not None:
-                coord.unregister_process(self._shutdown_token)
-
-
 class Supervisor:
-    """Run independent tasks with crash/hang detection, retries and
-    graceful degradation to serial execution.
+    """Run independent tasks with crash/hang/host-loss detection, retries
+    and graceful degradation to serial execution.
 
     Parameters
     ----------
     runner:
-        ``runner(task) -> result``.  Must be inheritable by fork (workers
-        receive it through a module global, never pickled).
+        ``runner(task) -> result``.  Must be inheritable by fork (local
+        workers receive it through a module global, never pickled).
     jobs:
-        Worker process count; ``1`` (or platforms without ``fork``) runs
-        everything serially in-process.
+        Local worker process count; ``1`` (or platforms without ``fork``)
+        spawns no local workers — everything runs serially in-process
+        unless remote transports provide endpoints.
     retry:
         The :class:`RetryPolicy` governing worker attempts and backoff.
     timeout:
@@ -268,12 +114,15 @@ class Supervisor:
         counter stops advancing for ``timeout`` seconds.  A slow but
         alive paper-scale cell therefore never trips the watchdog, while
         a genuinely hung worker still dies within ``timeout`` of its
-        last progress.  ``None`` disables stall detection entirely.
+        last progress.  For remote endpoints the same watchdog doubles
+        as the heartbeat-silence detector: a partitioned host stops
+        beating and its cell is reassigned as ``host_lost``.  ``None``
+        disables stall detection entirely.
     fault_plan:
         Optional deterministic :class:`FaultPlan` (tests only).
     worker_rlimit_bytes:
         Per-worker address-space *growth* cap in bytes (above the
-        fork-inherited baseline), installed in each worker via
+        fork-inherited baseline), installed in each local worker via
         ``resource.setrlimit(RLIMIT_AS)``.  ``None`` leaves workers
         uncapped.
     oom_action:
@@ -283,6 +132,10 @@ class Supervisor:
         :class:`~repro.errors.ResourceExhaustedError` carrying the task,
         attempt history and all partial results — the hook the sweep
         engine's degradation ladder hangs off.
+    transports:
+        Extra :class:`~repro.runtime.transport.Transport` instances
+        (remote hosts) joining the local fork pool.  The local transport
+        is constructed implicitly from ``jobs``.
     """
 
     #: Upper bound on one event-loop wait (keeps deadline checks timely,
@@ -298,7 +151,8 @@ class Supervisor:
                  timeout: Optional[float] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  worker_rlimit_bytes: Optional[int] = None,
-                 oom_action: str = "retry"):
+                 oom_action: str = "retry",
+                 transports: Optional[Sequence[Transport]] = None):
         if oom_action not in ("retry", "raise"):
             raise ValueError(f"oom_action must be 'retry' or 'raise', "
                              f"got {oom_action!r}")
@@ -309,6 +163,7 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.worker_rlimit_bytes = worker_rlimit_bytes
         self.oom_action = oom_action
+        self.transports = list(transports or ())
         #: Worker heartbeat period: at least 4 samples per stall window
         #: so one lost/late beat cannot look like a stall, capped at 1 s
         #: so heartbeats stay cheap on long windows.
@@ -335,13 +190,26 @@ class Supervisor:
             else:
                 todo.append(_Attempt(idx, task))
         if todo:
-            use_pool = (self.jobs > 1 and len(todo) > 1 and
-                        "fork" in multiprocessing.get_all_start_methods())
+            has_remote = any(t.is_remote for t in self.transports)
+            can_fork = "fork" in multiprocessing.get_all_start_methods()
+            use_pool = (len(todo) > 1 and
+                        (has_remote or (self.jobs > 1 and can_fork)))
             if use_pool:
                 self._run_pool(todo, results, on_result, tasks)
             else:
                 self._run_serial_only(todo, results, on_result)
         return [results[idx] for idx in range(len(tasks))]
+
+    def _pool_transports(self) -> List[Transport]:
+        """Transports joining this pool run: local fork first, then any
+        remote transports, so local capacity soaks up cells before slower
+        channels do."""
+        trs: List[Transport] = []
+        if (self.jobs > 1
+                and "fork" in multiprocessing.get_all_start_methods()):
+            trs.append(LocalForkTransport(self.jobs))
+        trs.extend(self.transports)
+        return trs
 
     # ------------------------------------------------------------------
     # serial execution (jobs=1 / no fork) with retries
@@ -414,37 +282,43 @@ class Supervisor:
     # supervised pool execution
     # ------------------------------------------------------------------
     def _run_pool(self, todo, results, on_result, tasks) -> None:
-        global _WORKER_RUNNER, _WORKER_FAULTS, _WORKER_RLIMIT, \
-            _WORKER_HEARTBEAT
-        ctx = multiprocessing.get_context("fork")
-        _WORKER_RUNNER = self.runner
-        _WORKER_FAULTS = self.fault_plan
-        _WORKER_RLIMIT = self.worker_rlimit_bytes
-        _WORKER_HEARTBEAT = self.heartbeat_interval
-        workers: List[_Worker] = []
-        wid = itertools.count()
+        config = WorkerConfig(self.runner, fault_plan=self.fault_plan,
+                              rlimit_bytes=self.worker_rlimit_bytes,
+                              heartbeat_interval=self.heartbeat_interval)
+        transports = self._pool_transports()
+        endpoints: List[WorkerEndpoint] = []
         pending = deque(todo)
-        #: cells that exhausted worker attempts, awaiting the serial
-        #: fallback (run after the pool drains so one bad cell cannot
-        #: stall healthy workers).
+        #: cells that exhausted worker attempts (or outlived every
+        #: transport), awaiting the serial fallback (run after the pool
+        #: drains so one bad cell cannot stall healthy workers).
         fallback: List[_Attempt] = []
         outstanding = len(todo)
         try:
-            for _ in range(min(self.jobs, len(todo))):
-                workers.append(_Worker(ctx, next(wid)))
+            for tr in transports:
+                tr.open(config)
+                endpoints.extend(tr.start(len(todo)))
             while outstanding > len(fallback):
                 coord = signals.get_shutdown()
                 if coord is not None and coord.requested:
-                    self._drain_interrupted(workers, results, todo,
+                    self._drain_interrupted(endpoints, results, todo,
                                             on_result)
                 now = time.monotonic()
-                self._assign_ready(workers, pending, now)
+                for tr in transports:
+                    endpoints.extend(tr.revive(now))
+                if pending and not endpoints:
+                    if all(tr.exhausted for tr in transports):
+                        self._fall_back_local(pending, fallback)
+                        continue
+                    # Every channel is down but a transport is still
+                    # reconnecting: wait for its next attempt window.
+                    time.sleep(self.POLL_INTERVAL)
+                    continue
+                self._assign_ready(endpoints, pending, now)
                 wait_for, busy = [], []
-                for w in workers:
-                    if w.current is not None:
-                        wait_for.append(w.conn)
-                        wait_for.append(w.process.sentinel)
-                        busy.append(w)
+                for ep in endpoints:
+                    if ep.current is not None:
+                        wait_for.extend(ep.wait_handles())
+                        busy.append(ep)
                 if not busy:
                     # Nothing in flight: only backoff-delayed cells remain.
                     delay = min(a.not_before for a in pending) - now
@@ -454,19 +328,17 @@ class Supervisor:
                 ready = multiprocessing.connection.wait(
                     wait_for, timeout=self._wait_timeout(busy, pending, now))
                 ready_set = set(ready)
-                for w in list(busy):
-                    finished = self._service_worker(
-                        w, ready_set, workers, pending, fallback,
-                        results, on_result, ctx, wid, todo)
+                for ep in list(busy):
+                    finished = self._service_endpoint(
+                        ep, ready_set, endpoints, pending, fallback,
+                        results, on_result, todo)
                     outstanding -= finished
-                self._reap_timeouts(workers, pending, fallback, ctx, wid)
+                self._reap_timeouts(endpoints, pending, fallback)
         finally:
-            for w in workers:
-                w.stop(kill=True)
-            _WORKER_RUNNER = None
-            _WORKER_FAULTS = None
-            _WORKER_RLIMIT = None
-            _WORKER_HEARTBEAT = None
+            for ep in endpoints:
+                ep.stop(kill=True)
+            for tr in transports:
+                tr.close()
         # Degraded path: cells that repeatedly failed in workers get one
         # last serial in-process attempt each.
         rec = get_recorder()
@@ -494,17 +366,44 @@ class Supervisor:
                 on_result(att.task, results[att.idx])
 
     # -- pool helpers --------------------------------------------------
-    def _assign_ready(self, workers, pending, now) -> None:
-        for w in workers:
-            if w.current is not None or not pending:
+    def _fall_back_local(self, pending, fallback) -> None:
+        """Every transport is permanently out of endpoints (all remote
+        hosts dropped, no local workers): move the remaining cells to the
+        serial in-process fallback instead of dying with the fleet."""
+        get_recorder().event("transport.fallback", level="warning",
+                             cells=len(pending))
+        logger.warning(
+            "no worker endpoints survive (all transports exhausted); "
+            "running %d remaining cell(s) serially in-process",
+            len(pending))
+        while pending:
+            fallback.append(pending.popleft())
+
+    def _assign_ready(self, endpoints, pending, now) -> None:
+        for ep in list(endpoints):
+            if ep.current is not None or not pending:
                 continue
             for _ in range(len(pending)):
                 att = pending.popleft()
                 if att.not_before <= now:
-                    w.assign(att, self.timeout)
+                    try:
+                        ep.assign(att, self.timeout)
+                    except EndpointLostError as exc:
+                        # The channel died between replies: the attempt
+                        # never started, so un-count it and retire the
+                        # endpoint.
+                        att.attempts -= 1
+                        ep.current = None
+                        pending.appendleft(att)
+                        self._retire(ep, endpoints, pending, lost=exc,
+                                     stalled=False)
+                        break
+                    attrs = {"worker_pid": ep.pid}
+                    if ep.host is not None:
+                        attrs["host"] = ep.host
                     get_recorder().event(
                         "task.assigned", cell=_task_attr(att.task),
-                        attempt=att.attempts, worker_pid=w.process.pid)
+                        attempt=att.attempts, **attrs)
                     break
                 pending.append(att)
             else:
@@ -512,36 +411,53 @@ class Supervisor:
 
     def _wait_timeout(self, busy, pending, now) -> float:
         timeout = self.POLL_INTERVAL
-        for w in busy:
-            if w.deadline is not None:
-                timeout = min(timeout, max(0.0, w.deadline - now))
+        for ep in busy:
+            if ep.deadline is not None:
+                timeout = min(timeout, max(0.0, ep.deadline - now))
         for att in pending:
             timeout = min(timeout, max(0.0, att.not_before - now))
         return timeout
 
-    def _service_worker(self, w, ready_set, workers, pending, fallback,
-                        results, on_result, ctx, wid, todo) -> int:
-        """Handle one worker's result or death; returns cells finished."""
-        if w.conn in ready_set:
-            records = None
+    def _retire(self, ep, endpoints, pending, *, lost, stalled) -> None:
+        """Stop a dead/stalled endpoint and ask its transport for
+        replacements."""
+        if ep.host is not None and (lost is not None or stalled):
+            detail = (str(lost) if lost is not None
+                      else "heartbeat silence (stalled)")
+            get_recorder().event("host.lost", level="warning",
+                                 host=ep.host, detail=detail)
+        ep.stop(kill=True)
+        if ep in endpoints:
+            endpoints.remove(ep)
+        endpoints.extend(ep.transport.replace(ep, pending=len(pending),
+                                              stalled=stalled))
+
+    def _service_endpoint(self, ep, ready_set, endpoints, pending, fallback,
+                          results, on_result, todo) -> int:
+        """Handle one endpoint's reply or death; returns cells finished."""
+        lost: Optional[EndpointLostError] = None
+        if ep.readable(ready_set):
             try:
-                msg = w.conn.recv()
-                if msg and msg[0] == "hb":
-                    self._note_heartbeat(w, msg)
-                    return 0
-                if len(msg) >= 4:
-                    idx, ok, payload, records = msg[:4]
-                else:  # legacy 3-tuple reply (no telemetry channel)
-                    idx, ok, payload = msg
-            except (EOFError, OSError):
-                ok = None  # pipe died mid-message: treat as a crash
-            if records:
-                # Merge the worker's buffered telemetry into the parent
-                # stream before the task outcome is recorded, so the
-                # cell's spans precede its task.done/task.failed event.
-                get_recorder().ingest(records)
-            if ok is not None:
-                att, w.current, w.deadline = w.current, None, None
+                msg = ep.recv()
+            except EndpointLostError as exc:
+                lost = exc
+                msg = None
+            if msg is not None and msg[0] == "hb":
+                self._note_heartbeat(ep, msg)
+                return 0
+            if msg is not None:
+                idx, ok, payload, records = msg
+                if records:
+                    # Merge the worker's buffered telemetry into the
+                    # parent stream before the task outcome is recorded,
+                    # so the cell's spans precede its task.done event.
+                    if ep.host is not None:
+                        records = [dict(r, attrs=dict(r.get("attrs") or {},
+                                                      host=ep.host))
+                                   if isinstance(r, dict) else r
+                                   for r in records]
+                    get_recorder().ingest(records)
+                att, ep.current, ep.deadline = ep.current, None, None
                 if ok:
                     results[att.idx] = payload
                     get_recorder().event("task.done",
@@ -553,28 +469,35 @@ class Supervisor:
                 if not isinstance(payload, dict):  # legacy string reply
                     payload = {"error": str(payload), "kind": "error"}
                 att.history.append({"attempt": att.attempts,
-                                    "where": "worker",
+                                    "where": ep.where,
                                     "error": payload["error"],
                                     "kind": payload.get("kind", "error")})
                 self._maybe_raise_oom(att, results, todo)
                 return self._reschedule(att, pending, fallback)
-        if not w.process.is_alive() or w.process.sentinel in ready_set:
-            if w.process.is_alive():  # pragma: no cover - sentinel race
-                return 0
-            att, w.current = w.current, None
-            exitcode = w.process.exitcode
-            kind, description = classify_exitcode(exitcode)
-            w.stop(kill=True)
-            workers.remove(w)
+        # Death handling.  A remote endpoint is dead the moment its
+        # channel fails; a local fork worker whose pipe merely hit EOF
+        # defers to the process sentinel (the pre-transport behavior) —
+        # unless the channel is *garbled*, in which case the pipe can
+        # never deliver another frame and the worker must be killed even
+        # though its process may still be alive.
+        force_dead = lost is not None and (ep.host is not None
+                                           or lost.garbled)
+        if force_dead or ep.dead(ready_set):
+            if not force_dead and not ep.confirm_dead():
+                return 0  # pragma: no cover - sentinel race
+            att, ep.current = ep.current, None
+            kind, description = ep.death(lost)
             if att is not None:
                 att.history.append({
-                    "attempt": att.attempts, "where": "worker",
+                    "attempt": att.attempts, "where": ep.where,
                     "error": description, "kind": kind})
                 self._maybe_raise_oom(att, results, todo)
+                # Reschedule *before* retiring: the transport's replace()
+                # decision sees the cell back in the pending queue, so the
+                # last worker's death with the last cell in hand still
+                # spawns a successor.
                 self._reschedule(att, pending, fallback)
-            if pending and len(workers) < self.jobs:
-                # Replace the dead worker while cells remain.
-                workers.append(_Worker(ctx, next(wid)))
+            self._retire(ep, endpoints, pending, lost=lost, stalled=False)
         return 0
 
     def _maybe_raise_oom(self, att, results, todo) -> None:
@@ -598,7 +521,7 @@ class Supervisor:
             kind="memory", cell=att.task, attempts=att.history,
             partial=partial)
 
-    def _note_heartbeat(self, w, msg) -> None:
+    def _note_heartbeat(self, ep, msg) -> None:
         """Fold one ``("hb", idx, progress, cell)`` liveness report.
 
         The stall deadline is pushed out only when the progress counter
@@ -609,41 +532,45 @@ class Supervisor:
         assignment itself already armed the deadline).
         """
         _, idx, progress, cellattr = msg
-        att = w.current
+        att = ep.current
         if att is None or att.idx != idx:
             return  # stale beat from a task that already replied
-        advanced = (w.last_progress is not None
-                    and progress > w.last_progress)
-        w.last_progress = progress
+        advanced = (ep.last_progress is not None
+                    and progress > ep.last_progress)
+        ep.last_progress = progress
         if advanced and self.timeout is not None:
-            w.deadline = time.monotonic() + self.timeout
+            ep.deadline = time.monotonic() + self.timeout
+        attrs = {"worker_pid": ep.pid}
+        if ep.host is not None:
+            attrs["host"] = ep.host
         get_recorder().metric("worker.heartbeat", progress, unit="events",
-                              cell=cellattr, worker_pid=w.process.pid)
+                              cell=cellattr, **attrs)
 
-    def _reap_timeouts(self, workers, pending, fallback, ctx, wid) -> None:
-        """Kill workers whose progress counter stalled for ``timeout``.
+    def _reap_timeouts(self, endpoints, pending, fallback) -> None:
+        """Kill endpoints whose progress counter stalled for ``timeout``.
 
         ``deadline`` is armed at assignment and re-armed by every
         heartbeat that shows progress, so only a genuinely frozen worker
-        ever reaches it (see :meth:`_note_heartbeat`).
+        ever reaches it (see :meth:`_note_heartbeat`).  For a remote
+        endpoint heartbeat silence means the *host* is unreachable
+        (partitioned, frozen, or dead), so the failure is classified
+        ``host_lost`` rather than ``hang``.
         """
         if self.timeout is None:
             return
         now = time.monotonic()
-        for w in list(workers):
-            if w.current is None or w.deadline is None or now < w.deadline:
+        for ep in list(endpoints):
+            if ep.current is None or ep.deadline is None or now < ep.deadline:
                 continue
-            att, w.current = w.current, None
-            att.history.append({"attempt": att.attempts, "where": "worker",
+            att, ep.current = ep.current, None
+            att.history.append({"attempt": att.attempts, "where": ep.where,
                                 "error": f"no progress for {self.timeout}s "
                                          "(stalled)",
-                                "kind": "hang"})
-            w.stop(kill=True)
-            workers.remove(w)
-            workers.append(_Worker(ctx, next(wid)))
+                                "kind": ep.stall_kind})
+            self._retire(ep, endpoints, pending, lost=None, stalled=True)
             self._reschedule(att, pending, fallback)
 
-    def _drain_interrupted(self, workers, results, todo, on_result) -> None:
+    def _drain_interrupted(self, endpoints, results, todo, on_result) -> None:
         """Graceful-shutdown endgame for the pool (first SIGINT/SIGTERM).
 
         Stops dispatching, gives in-flight cells :data:`DRAIN_GRACE`
@@ -651,10 +578,12 @@ class Supervisor:
         then abandons whatever is still running and raises
         :class:`~repro.errors.SweepInterrupted`.  The caller's
         ``finally`` kills the workers; abandoned cells simply stay out
-        of the journal, so ``--resume`` re-runs exactly those.
+        of the journal, so ``--resume`` re-runs exactly those.  Remote
+        in-flight cells drain through the same window: their reply
+        channels sit in the same ``wait`` set as local pipes.
         """
         rec = get_recorder()
-        busy = [w for w in workers if w.current is not None]
+        busy = [ep for ep in endpoints if ep.current is not None]
         rec.event("shutdown.requested", level="warning", where="pool",
                   in_flight=len(busy))
         logger.warning("shutdown requested: draining %d in-flight cell(s), "
@@ -664,32 +593,31 @@ class Supervisor:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
+            by_handle = {ep.drain_handle(): ep for ep in busy}
             ready = multiprocessing.connection.wait(
-                [w.conn for w in busy], timeout=remaining)
-            for w in busy:
-                if w.conn not in ready:
-                    continue
+                list(by_handle), timeout=remaining)
+            for handle in ready:
+                ep = by_handle[handle]
                 try:
-                    msg = w.conn.recv()
-                except (EOFError, OSError):
-                    w.current = None  # died mid-drain: leave unjournaled
+                    msg = ep.recv()
+                except EndpointLostError:
+                    ep.current = None  # died mid-drain: leave unjournaled
                     continue
                 if msg and msg[0] == "hb":
                     continue
-                idx, ok, payload = msg[0], msg[1], msg[2]
-                records = msg[3] if len(msg) >= 4 else None
+                idx, ok, payload, records = msg
                 if records:
                     rec.ingest(records)
-                att, w.current = w.current, None
+                att, ep.current = ep.current, None
                 if ok and att is not None and att.idx == idx:
                     results[att.idx] = payload
                     rec.event("task.done", cell=_task_attr(att.task),
                               attempt=att.attempts)
                     if on_result is not None:
                         on_result(att.task, payload)
-            busy = [w for w in workers if w.current is not None]
-        cancelled = [w.current.task for w in workers
-                     if w.current is not None]
+            busy = [ep for ep in endpoints if ep.current is not None]
+        cancelled = [ep.current.task for ep in endpoints
+                     if ep.current is not None]
         for task in cancelled:
             rec.event("task.failed", level="warning",
                       cell=_task_attr(task), fail_kind="interrupted",

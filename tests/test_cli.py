@@ -139,6 +139,41 @@ class TestExitCodeContract:
         # never collide with an error class.
         assert 1 not in codes
 
+    def test_runbook_exit_code_table_matches_errors_module(self):
+        """The operator runbook's exit-code table is documentation of
+        the same contract ``repro.errors`` freezes — a drifted table
+        sends operators' scripts dispatching on the wrong numbers."""
+        import os
+        import re
+
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "docs", "runbook.md")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        section = re.search(r"## Exit codes\n(.*?)\n## ", text, re.S)
+        assert section, "runbook lost its '## Exit codes' section"
+        rows = re.findall(r"^\| `(\d+)` \| (.+?) \|", section.group(1),
+                          flags=re.M)
+        codes = {int(num): desc for num, desc in rows}
+        assert set(codes) == {EXIT_COMPLETED, 1, EXIT_FAILED,
+                              EXIT_RESOURCE_EXHAUSTED, EXIT_INTERRUPTED}, \
+            f"runbook documents {sorted(codes)}"
+        assert "completed" in codes[EXIT_COMPLETED]
+        assert "validate" in codes[1]       # a verdict, not an error
+        assert "failed" in codes[EXIT_FAILED]
+        assert "resource" in codes[EXIT_RESOURCE_EXHAUSTED].lower()
+        assert "resumable" in codes[EXIT_INTERRUPTED]
+        # The constant names the runbook points readers at must exist
+        # in repro.errors with these exact values.
+        import repro.errors as errors_mod
+        for name, value in (("EXIT_COMPLETED", EXIT_COMPLETED),
+                            ("EXIT_FAILED", EXIT_FAILED),
+                            ("EXIT_RESOURCE_EXHAUSTED",
+                             EXIT_RESOURCE_EXHAUSTED),
+                            ("EXIT_INTERRUPTED", EXIT_INTERRUPTED)):
+            assert name in section.group(1) or name in text
+            assert getattr(errors_mod, name) == value
+
     def test_success_maps_to_exit_completed(self, trace_file):
         assert main(["classify", trace_file, "--block", "8"]) \
             == EXIT_COMPLETED

@@ -229,6 +229,50 @@ class TestTmpGC:
         WorkloadTraceCache(str(tmp_path))
         assert not leak.exists()
 
+    def test_age_guard_boundary_is_exact(self, tmp_path):
+        """Just-under the guard survives; exactly at (or past) it is
+        reaped — the boundary is the contract a live writer's safety
+        rests on, so it is pinned, not approximate."""
+        from repro.runtime.resources import DEFAULT_TMP_MAX_AGE_S
+
+        now = time.time()
+        just_under = tmp_path / "a.npz.1.tmp"
+        just_under.write_bytes(b"x")
+        os.utime(just_under, (now - (DEFAULT_TMP_MAX_AGE_S - 0.5),) * 2)
+        exactly_at = tmp_path / "b.npz.2.tmp"
+        exactly_at.write_bytes(b"y")
+        os.utime(exactly_at, (now - DEFAULT_TMP_MAX_AGE_S,) * 2)
+
+        assert gc_stale_tmp(str(tmp_path), now=now) == 1
+        assert just_under.exists()
+        assert not exactly_at.exists()
+
+    def test_age_guard_env_override(self, tmp_path, monkeypatch):
+        from repro.runtime.resources import (
+            DEFAULT_TMP_MAX_AGE_S,
+            resolve_tmp_max_age,
+        )
+
+        now = time.time()
+        leak = tmp_path / "c.npz.3.tmp"
+        leak.write_bytes(b"z")
+        os.utime(leak, (now - 10.0,) * 2)
+
+        # Default guard keeps a 10s-old file...
+        assert gc_stale_tmp(str(tmp_path), now=now) == 0
+        # ...a 5s env guard reaps it.
+        monkeypatch.setenv("REPRO_TMP_MAX_AGE_S", "5")
+        assert resolve_tmp_max_age() == 5.0
+        assert gc_stale_tmp(str(tmp_path), now=now) == 1
+        assert not leak.exists()
+        # The explicit argument always wins over the environment.
+        monkeypatch.setenv("REPRO_TMP_MAX_AGE_S", "1")
+        assert resolve_tmp_max_age(42.0) == 42.0
+        # A malformed override warns and falls back to the default.
+        monkeypatch.setenv("REPRO_TMP_MAX_AGE_S", "soon")
+        with pytest.warns(UserWarning, match="REPRO_TMP_MAX_AGE_S"):
+            assert resolve_tmp_max_age() == DEFAULT_TMP_MAX_AGE_S
+
 
 # ----------------------------------------------------------------------
 # shutdown coordinator & cancellation points
