@@ -7,6 +7,7 @@ end-to-end speedup over the pre-refactor workflow (see
 ``test_fig5_sweep_end_to_end_speedup``)."""
 
 import gc
+import os
 import time
 
 import pytest
@@ -129,12 +130,19 @@ def test_telemetry_overhead_under_3_percent(benchmark, bench_json, mp3d200,
     """Telemetry gate: recording a run costs < 3 % end to end.
 
     Both legs run the same serial Fig.5-style classification sweep; the
-    recorded leg adds a full :class:`~repro.obs.RunTelemetry` (per-cell
-    spans, metrics, the manifest fold and the events.jsonl writes).  The
-    budget holds because instrumentation is per *cell*, not per event —
-    a sweep emits tens of records while classifying millions of
-    references — and because telemetry-off call sites hit the no-op
+    recorded leg adds a full :class:`~repro.obs.RunTelemetry` — per-cell
+    spans, metrics, the manifest fold, the events.jsonl writes, and
+    (since the distributed-tracing change) trace-id/span-id threading on
+    every record, which this gate re-prices.  The budget holds because
+    instrumentation is per *cell*, not per event — a sweep emits tens of
+    records while classifying millions of references — and because
+    telemetry-off call sites hit the no-op
     :data:`~repro.obs.NULL_RECORDER`.
+
+    The recorded leg's manifest is also appended to the repo-root
+    ``PERF_HISTORY.jsonl`` (the ``repro history`` store), so every
+    benchmark run extends the cross-run perf trail and cells regressing
+    against their trailing median get a logged warning.
 
     Methodology: the legs run as *interleaved off/on pairs* and the
     overhead is the **minimum pairwise on/off ratio**.  A real
@@ -175,7 +183,27 @@ def test_telemetry_overhead_under_3_percent(benchmark, bench_json, mp3d200,
                telemetry_off_sec=round(t_off, 4),
                telemetry_on_sec=round(t_on, 4),
                overhead_pct=round(overhead * 100, 2),
-               median_overhead_pct=round(median * 100, 2))
+               median_overhead_pct=round(median * 100, 2),
+               span_ids=True)
+
+    # Extend the cross-run perf trail with the recorded leg's newest
+    # run and warn (never fail — the overhead assert is this test's
+    # gate) about cells regressing against their trailing median.
+    import logging
+
+    from repro.obs import check_regressions, find_runs, load_history
+    from repro.obs.history import record_run
+
+    history_path = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "PERF_HISTORY.jsonl")
+    newest = sorted(find_runs(tel))[-1]
+    record_run(newest, history_path, label="bench-telemetry-overhead")
+    trend = check_regressions(load_history(history_path))
+    for cell in trend["regressions"]:
+        logging.getLogger("repro.benchmarks").warning(
+            "perf history regression: %s %+.1f%% vs trailing median",
+            "/".join(str(p) for p in cell["cell"]), cell["delta_pct"])
+
     assert overhead < 0.03, (
         f"telemetry overhead {overhead * 100:.2f}% >= 3%")
 

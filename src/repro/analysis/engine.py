@@ -939,6 +939,15 @@ class SweepEngine:
     def _run_grid(self, cells: Sequence[Cell]) -> List:
         cells = [tuple(cell) for cell in cells]
         rec = get_recorder()
+        # The sweep root span: every cell/shard/merge span of this grid —
+        # including ones emitted in forked or remote workers, whose
+        # parent ids ride the assign messages — hangs off it, giving
+        # `repro trace` one rooted tree per sweep.
+        with rec.span("sweep.run", trace=self.trace.name,
+                      trace_key=self.trace_key, cells=len(cells)):
+            return self._run_grid_rungs(cells, rec)
+
+    def _run_grid_rungs(self, cells: List[Tuple], rec) -> List:
         journal = None
         completed: Dict[Tuple, object] = {}
         if self.checkpoint_dir is not None:

@@ -13,6 +13,9 @@ fig6        Reproduce Figure 6 (a and b) for the whole small suite.
 validate    Run the data-race checker over a trace file or workload.
 generate    Generate a workload trace and save it (.npz or .trc).
 report      Render a recorded run's telemetry (see ``--telemetry``).
+trace       Render a run's span tree and critical-path attribution.
+diff        Compare two runs cell-by-cell and flag regressions.
+history     Append runs to a perf history file and flag trend regressions.
 
 Global flags: ``-v``/``-q`` adjust console log verbosity (repeatable);
 ``--telemetry DIR`` on the sweep-style commands records the whole command
@@ -267,7 +270,62 @@ def _cmd_generate(args) -> int:
 def _cmd_report(args) -> int:
     from .obs import render_report
 
-    render_report(args.dir, top=args.top, stream=sys.stdout)
+    render_report(args.dir, top=args.top, stream=sys.stdout,
+                  as_json=args.json)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import render_trace, trace_summary
+
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(trace_summary(args.run, top=args.top),
+                          indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_trace(args.run, top=args.top))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .obs import diff_runs, render_diff
+
+    diff = diff_runs(args.run_a, args.run_b, threshold=args.threshold,
+                     min_seconds=args.min_seconds)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_diff(diff))
+    if args.fail_on_regress and diff["regressions"]:
+        return 1
+    return 0
+
+
+def _cmd_history(args) -> int:
+    from .obs import history_summary, record_run, render_history
+
+    if args.action == "record":
+        if not args.runs:
+            raise ReproError("history record needs at least one run "
+                             "directory")
+        for run in args.runs:
+            entry = record_run(run, args.file, label=args.label)
+            print(f"recorded {entry['run_id']} "
+                  f"({len(entry['cells'])} cell(s)) -> {args.file}")
+        return 0
+    summary = history_summary(args.file, window=args.window,
+                              threshold=args.threshold)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_history(summary))
+    if args.fail_on_regress and summary["regressions"]:
+        return 1
     return 0
 
 
@@ -456,7 +514,70 @@ def build_parser() -> argparse.ArgumentParser:
                                "directory inside it")
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="how many slowest spans to list (default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as one machine-readable JSON "
+                        "object instead of tables")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("trace",
+                       help="render a run's causal span tree and its "
+                            "critical path (who the sweep actually "
+                            "waited on, including idle gaps)")
+    p.add_argument("run", help="a run directory (or a --telemetry "
+                               "directory holding exactly one run)")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="how many critical-path contributors to rank "
+                        "(default: 10)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the tree and critical path as JSON")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("diff",
+                       help="compare two runs cell-by-cell (duration, "
+                            "events/s, attempts, kernel, host) and flag "
+                            "deltas past a threshold")
+    p.add_argument("run_a", help="baseline: a run directory or a "
+                                 "'repro report --json' output file")
+    p.add_argument("run_b", help="candidate run, same forms as run_a")
+    p.add_argument("--threshold", type=float, default=0.2, metavar="FRAC",
+                   help="relative duration change that flags a cell "
+                        "(default: 0.2 = 20%%)")
+    p.add_argument("--min-seconds", type=float, default=0.005,
+                   metavar="SECONDS",
+                   help="never flag cells faster than this in both runs "
+                        "— their deltas are noise (default: 0.005)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the comparison as JSON")
+    p.add_argument("--fail-on-regress", action="store_true",
+                   help="exit 1 when any cell regressed past the "
+                        "threshold")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("history",
+                       help="append runs to an append-only perf history "
+                            "file and flag cells regressing against "
+                            "their trailing median")
+    p.add_argument("action", choices=("record", "show"),
+                   help="'record' appends run summaries; 'show' renders "
+                        "the per-cell trend and verdicts")
+    p.add_argument("runs", nargs="*",
+                   help="run directories to record (record only)")
+    p.add_argument("--file", default="PERF_HISTORY.jsonl", metavar="PATH",
+                   help="history file (default: ./PERF_HISTORY.jsonl)")
+    p.add_argument("--label", default=None,
+                   help="free-form label stored with recorded entries "
+                        "(e.g. a commit hash or kernel mode)")
+    p.add_argument("--window", type=int, default=8, metavar="N",
+                   help="trailing runs per cell forming the comparison "
+                        "median (default: 8)")
+    p.add_argument("--threshold", type=float, default=0.25, metavar="FRAC",
+                   help="relative slowdown vs the median that flags a "
+                        "regression (default: 0.25 = 25%%)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the trend summary as JSON (show only)")
+    p.add_argument("--fail-on-regress", action="store_true",
+                   help="exit 1 when any cell regressed (show only)")
+    p.set_defaults(func=_cmd_history)
     return parser
 
 

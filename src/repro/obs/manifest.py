@@ -95,7 +95,7 @@ class _CellStats:
     __slots__ = ("trace_key", "cell", "status", "duration_s", "rows",
                  "attempts", "failed_attempts", "shards", "plan_digest",
                  "partition_dim", "kernel", "predicted_bytes",
-                 "observed_rss_kb", "result_sha256", "order")
+                 "observed_rss_kb", "result_sha256", "order", "hosts")
 
     def __init__(self, trace_key: str, cell: Tuple, order: int):
         self.trace_key = trace_key
@@ -113,6 +113,8 @@ class _CellStats:
         self.observed_rss_kb: Optional[int] = None
         self.result_sha256: Optional[str] = None
         self.order = order
+        #: Remote hosts that ran (part of) this cell; empty means local.
+        self.hosts: set = set()
 
     def as_dict(self, traces: Dict[str, dict]) -> dict:
         entry = {
@@ -133,6 +135,7 @@ class _CellStats:
             "predicted_bytes": self.predicted_bytes,
             "observed_rss_kb": self.observed_rss_kb,
             "result_sha256": self.result_sha256,
+            "host": ",".join(sorted(self.hosts)) if self.hosts else None,
         }
         pred, rss = self.predicted_bytes, self.observed_rss_kb
         entry["footprint_ratio"] = (
@@ -189,6 +192,8 @@ class RunTelemetry:
             "heartbeats": 0, "interrupted_cells": 0,
             "host_losses": 0,
         }
+        #: Per-remote-host fold: assignments, completions, losses.
+        self._hosts: Dict[str, Dict[str, int]] = {}
         self._current_trace_key: Optional[str] = None
         self._log_handler: Optional[TelemetryLogHandler] = None
         self._recorder_scope = None
@@ -202,6 +207,10 @@ class RunTelemetry:
         self._recorder_scope = use_recorder(self.recorder)
         self._recorder_scope.__enter__()
         _current_run = self
+        # The run id doubles as the trace id: from here on every span
+        # gets span/parent ids and the stream reconstructs into one
+        # causal tree per sweep (repro.obs.tracing).
+        self.recorder.set_trace_context(self.run_id)
         self._log_handler = TelemetryLogHandler(self.recorder)
         library_logger().addHandler(self._log_handler)
         self.recorder.event("run.start", run_id=self.run_id,
@@ -330,6 +339,8 @@ class RunTelemetry:
             stats.partition_dim = attrs["partition_dim"]
         if attrs.get("kernel"):
             stats.kernel = attrs["kernel"]
+        if attrs.get("host"):
+            stats.hosts.add(str(attrs["host"]))
         if name == "shard.run":
             stats.duration_s += float(record.get("dur_s", 0.0))
             stats.rows += int(attrs.get("rows", 0) or 0)
@@ -369,9 +380,24 @@ class RunTelemetry:
         elif name == "footprint.predicted_bytes":
             stats.predicted_bytes = int(record.get("value", 0))
 
+    def _host_stats(self, host) -> Dict[str, int]:
+        label = str(host)
+        if label not in self._hosts:
+            self._hosts[label] = {"connected": 0, "assigned": 0,
+                                  "cells_done": 0, "losses": 0,
+                                  "dropped": 0}
+        return self._hosts[label]
+
     def _fold_event(self, record: dict) -> None:
         name = record.get("name")
         attrs = record.get("attrs", {})
+        if name in ("host.connected", "host.lost", "host.dropped"):
+            host = attrs.get("host")
+            if host is not None:
+                key = {"host.connected": "connected", "host.lost": "losses",
+                       "host.dropped": "dropped"}[name]
+                self._host_stats(host)[key] += 1
+            return
         if name == "sweep.start":
             key = attrs.get("trace_key") or "<anonymous>"
             self._current_trace_key = key
@@ -387,8 +413,12 @@ class RunTelemetry:
             cell = self._cell_of(attrs)
             if cell is not None:
                 self._stats(self._current_trace_key, cell).attempts += 1
+            if attrs.get("host"):
+                self._host_stats(attrs["host"])["assigned"] += 1
         elif name == "task.done":
             self._counters["tasks_done"] += 1
+            if attrs.get("host"):
+                self._host_stats(attrs["host"])["cells_done"] += 1
         elif name == "task.failed":
             fail_kind = attrs.get("fail_kind", "error")
             if fail_kind == "hang":
@@ -433,21 +463,34 @@ class RunTelemetry:
             "traces": [self._traces[k] for k in sorted(self._traces)],
             "cells": [s.as_dict(self._traces) for s in cells],
             "counters": dict(self._counters),
+            "hosts": {h: dict(c) for h, c in sorted(self._hosts.items())},
         }
 
 
 # ----------------------------------------------------------------------
 # manifest IO and the stable (resume-invariant) view
 # ----------------------------------------------------------------------
-def load_manifest(path: str) -> dict:
-    """Read one ``manifest.json`` (pass the file or its run directory)."""
+def load_manifest(path: str, *, strict: bool = True) -> Optional[dict]:
+    """Read one ``manifest.json`` (pass the file or its run directory).
+
+    With ``strict=False``, a malformed or half-written manifest (a run
+    killed mid-write, a truncated file, stray bytes) is skipped with a
+    logged warning and ``None`` is returned instead of aborting —
+    ``repro report``/``trace``/``diff`` over a directory of runs must
+    not die because one run is torn.
+    """
     if os.path.isdir(path):
         path = os.path.join(path, MANIFEST_NAME)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             return json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        raise ReproError(f"cannot read run manifest {path!r}: {exc}") from None
+        if strict:
+            raise ReproError(
+                f"cannot read run manifest {path!r}: {exc}") from None
+        library_logger().warning(
+            "skipping malformed run manifest %s: %s", path, exc)
+        return None
 
 
 def validate_manifest(manifest: dict) -> None:

@@ -28,6 +28,17 @@ recorder (:meth:`Recorder.buffering`) whose records are drained and
 shipped back over the supervisor's existing reply pipe, then merged into
 the parent stream by :meth:`Recorder.ingest` — sharded and degraded runs
 therefore produce one coherent timeline in one ``events.jsonl``.
+
+**Tracing.** Once :meth:`Recorder.set_trace_context` installs a trace
+id, every span record is additionally stamped with ``trace_id``, a fresh
+``span_id`` and the ``parent_id`` of the innermost open span (or the
+ambient parent a worker inherited from its assign message); events and
+metrics carry ``trace_id``/``parent_id`` so they attach to the span that
+emitted them.  :func:`trace_context` captures the current position for a
+dispatch message and :func:`apply_trace_context` installs it around one
+task in a worker, which is how supervisor, forked workers and TCP remote
+runners emit one causal span tree per sweep
+(see :mod:`repro.obs.tracing`).
 """
 
 from __future__ import annotations
@@ -42,7 +53,15 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 #: Version stamped into every record (and checked by the schema).
+#: Trace ids (``trace_id``/``span_id``/``parent_id``) are *optional*
+#: additive fields and did not bump it — see DESIGN.md, "telemetry
+#: schema versioning".
 SCHEMA_VERSION = 1
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit hex span id (collision-safe across processes)."""
+    return os.urandom(8).hex()
 
 
 def _json_default(obj: Any) -> Any:
@@ -85,9 +104,16 @@ class NullRecorder:
     """
 
     active = False
+    trace_id = None
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return NULL_SPAN
+
+    def set_trace_context(self, trace_id, parent_id=None) -> None:
+        pass
+
+    def current_span_id(self):
+        return None
 
     def span_complete(self, name: str, dur_s: float, *,
                       status: str = "ok", t: Optional[float] = None,
@@ -146,6 +172,42 @@ def use_recorder(recorder):
         set_recorder(previous)
 
 
+def trace_context() -> Optional[dict]:
+    """The current trace position, as a dict a dispatch message can carry.
+
+    ``None`` when telemetry is off or no trace is active, so legacy
+    messages keep their exact shape in the common no-telemetry case.
+    """
+    rec = get_recorder()
+    if not rec.active or rec.trace_id is None:
+        return None
+    ctx = {"trace_id": rec.trace_id}
+    parent = rec.current_span_id()
+    if parent is not None:
+        ctx["parent_id"] = parent
+    return ctx
+
+
+@contextlib.contextmanager
+def apply_trace_context(ctx: Optional[dict]):
+    """Scope a dispatched trace context around one worker task.
+
+    Installs the ``trace_id``/``parent_id`` from an assign message on
+    the current (buffering) recorder so the task's spans join the
+    supervisor's tree, then restores whatever was there before.
+    """
+    rec = get_recorder()
+    if not ctx or not rec.active:
+        yield
+        return
+    previous = (rec.trace_id, rec._ambient_parent)
+    rec.set_trace_context(ctx.get("trace_id"), ctx.get("parent_id"))
+    try:
+        yield
+    finally:
+        rec.trace_id, rec._ambient_parent = previous
+
+
 class _Span:
     """A timed region; emits one ``span`` record when the ``with`` exits.
 
@@ -154,16 +216,20 @@ class _Span:
     the supervisor's job, not the span's.
     """
 
-    __slots__ = ("_recorder", "name", "attrs", "_t0", "_wall")
+    __slots__ = ("_recorder", "name", "attrs", "_t0", "_wall", "span_id")
 
     def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]):
         self._recorder = recorder
         self.name = name
         self.attrs = attrs
+        self.span_id: Optional[str] = None
 
     def __enter__(self) -> "_Span":
         self._wall = time.time()
         self._t0 = time.monotonic()
+        # Open spans form a stack: records emitted while this span is
+        # open (child spans, events, metrics) are parented on it.
+        self.span_id = self._recorder._push_span()
         return self
 
     def set(self, **attrs) -> None:
@@ -172,9 +238,11 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         dur = time.monotonic() - self._t0
+        self._recorder._pop_span(self.span_id)
+        # After the pop, current_span_id() is this span's own parent.
         self._recorder.span_complete(
             self.name, dur, status="ok" if exc_type is None else "error",
-            t=self._wall, **self.attrs)
+            t=self._wall, span_id=self.span_id, **self.attrs)
         return False
 
 
@@ -202,11 +270,62 @@ class Recorder:
         self._seq = itertools.count()
         self._buffer: Optional[List[dict]] = [] if path is None else None
         self._listeners: List[Callable[[dict], None]] = []
+        #: Trace identity; ``None`` until :meth:`set_trace_context` — no
+        #: stamping happens before that, so pre-tracing record shapes
+        #: are reproduced exactly.
+        self.trace_id: Optional[str] = None
+        #: Parent inherited from a dispatch message (worker mode); open
+        #: spans in this process shadow it via the stack.
+        self._ambient_parent: Optional[str] = None
+        self._span_stack: List[str] = []
 
     @classmethod
     def buffering(cls) -> "Recorder":
         """A child recorder that buffers records for :meth:`drain`."""
         return cls(path=None)
+
+    # ------------------------------------------------------------------
+    # trace context (span-id threading)
+    # ------------------------------------------------------------------
+    def set_trace_context(self, trace_id: Optional[str],
+                          parent_id: Optional[str] = None) -> None:
+        """Install the trace identity (and an inherited parent span).
+
+        The run owner calls this with its run id; workers call it (via
+        :func:`apply_trace_context`) with the ``trace_id``/``parent_id``
+        that rode their assign message.
+        """
+        self.trace_id = trace_id
+        self._ambient_parent = parent_id
+
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span (or the inherited ambient parent)."""
+        if self._span_stack:
+            return self._span_stack[-1]
+        return self._ambient_parent
+
+    def _push_span(self) -> str:
+        span_id = new_span_id()
+        self._span_stack.append(span_id)
+        return span_id
+
+    def _pop_span(self, span_id: Optional[str]) -> None:
+        if span_id is not None and span_id in self._span_stack:
+            self._span_stack.remove(span_id)
+
+    def _stamp(self, record: dict, *,
+               span_id: Optional[str] = None,
+               parent_id: Optional[str] = None) -> dict:
+        """Attach trace ids to one record (no-op until a trace is set)."""
+        if self.trace_id is None:
+            return record
+        record["trace_id"] = self.trace_id
+        if span_id is not None:
+            record["span_id"] = span_id
+        parent = parent_id if parent_id is not None else self.current_span_id()
+        if parent is not None:
+            record["parent_id"] = parent
+        return record
 
     # ------------------------------------------------------------------
     def add_listener(self, listener: Callable[[dict], None]) -> None:
@@ -248,13 +367,17 @@ class Recorder:
 
     def span_complete(self, name: str, dur_s: float, *,
                       status: str = "ok", t: Optional[float] = None,
-                      **attrs) -> None:
+                      span_id: Optional[str] = None,
+                      parent_id: Optional[str] = None, **attrs) -> None:
         """Emit a span measured externally (or synthesized at merge)."""
         record = {"kind": "span", "name": name,
                   "dur_s": round(float(dur_s), 6), "status": status,
                   "attrs": attrs}
         if t is not None:
             record["t"] = t
+        if self.trace_id is not None:
+            self._stamp(record, span_id=span_id or new_span_id(),
+                        parent_id=parent_id)
         self._emit(record)
 
     def metric(self, name: str, value, unit: Optional[str] = None,
@@ -263,11 +386,11 @@ class Recorder:
                   "attrs": attrs}
         if unit is not None:
             record["unit"] = unit
-        self._emit(record)
+        self._emit(self._stamp(record))
 
     def event(self, name: str, *, level: str = "info", **attrs) -> None:
-        self._emit({"kind": "event", "name": name, "level": level,
-                    "attrs": attrs})
+        self._emit(self._stamp({"kind": "event", "name": name,
+                                "level": level, "attrs": attrs}))
 
     def log(self, level: str, logger: str, message: str) -> None:
         self._emit({"kind": "log", "level": level, "logger": logger,

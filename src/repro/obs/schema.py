@@ -6,7 +6,8 @@ artifact, so adding a new span/metric/event name is a visible schema
 change, not a silent drift.  Validation itself is a small zero-dependency
 interpreter of the JSON-Schema subset the contract uses (``type``,
 ``enum``, ``required``, ``properties``, ``additionalProperties``,
-``oneOf``, ``$ref`` into ``definitions``, ``minimum``, ``items``): the
+``oneOf``, ``$ref`` into ``definitions``, ``minimum``, ``minLength``,
+``items``): the
 container deliberately has no ``jsonschema`` package, and the subset is
 tiny enough that a faithful interpreter is less code than a vendored
 validator.
@@ -99,6 +100,10 @@ def _check(value: Any, schema: dict, root: dict, path: str,
     if "minimum" in schema and isinstance(value, (int, float)) \
             and not isinstance(value, bool) and value < schema["minimum"]:
         errors.append(f"{path}: {value!r} below minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) \
+            and len(value) < schema["minLength"]:
+        errors.append(f"{path}: length {len(value)} below minLength "
+                      f"{schema['minLength']}")
     if isinstance(value, dict):
         for name in schema.get("required", ()):
             if name not in value:

@@ -43,7 +43,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigError, ReproError
-from ..obs import Recorder, use_recorder
+from ..obs import Recorder, apply_trace_context, use_recorder
 from . import signals
 from .checkpoint import (
     JOURNAL_VERSION,
@@ -350,9 +350,13 @@ def serve_connection(conn: socket.socket, engine, hello: dict) -> None:
     current: list = [None]
     heartbeat = hello.get("heartbeat")
     with use_recorder(recorder):
+        # "now" lets the client estimate this host's wall-clock skew
+        # from the handshake round trip and normalize span times on
+        # ingest (see TcpTransport._connect).
         send_frame(conn, {"t": "welcome", "pid": os.getpid(),
                           "release": _release(),
-                          "host": f"{socket.gethostname()}:{os.getpid()}"})
+                          "host": f"{socket.gethostname()}:{os.getpid()}",
+                          "now": time.time()})
         if heartbeat:
             threading.Thread(target=_hb_loop,
                              args=(conn, send_lock, current,
@@ -375,7 +379,8 @@ def serve_connection(conn: socket.socket, engine, hello: dict) -> None:
             try:
                 task = _prepare_task(pre, wire_task, msg.get("meta"))
                 current[0] = (idx, task)
-                result = pre.run_cell(task)
+                with apply_trace_context(msg.get("ctx")):
+                    result = pre.run_cell(task)
                 ok, payload = True, encode_result(result)
             except BaseException as exc:
                 if isinstance(exc, (SystemExit, KeyboardInterrupt)):

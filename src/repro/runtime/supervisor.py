@@ -460,9 +460,11 @@ class Supervisor:
                 att, ep.current, ep.deadline = ep.current, None, None
                 if ok:
                     results[att.idx] = payload
-                    get_recorder().event("task.done",
-                                         cell=_task_attr(att.task),
-                                         attempt=att.attempts)
+                    done_attrs = {"cell": _task_attr(att.task),
+                                  "attempt": att.attempts}
+                    if ep.host is not None:
+                        done_attrs["host"] = ep.host
+                    get_recorder().event("task.done", **done_attrs)
                     if on_result is not None:
                         on_result(att.task, payload)
                     return 1
@@ -607,12 +609,23 @@ class Supervisor:
                     continue
                 idx, ok, payload, records = msg
                 if records:
+                    # Same host stamping the live drain applies, so
+                    # per-host accounting stays consistent across a
+                    # graceful shutdown.
+                    if ep.host is not None:
+                        records = [dict(r, attrs=dict(r.get("attrs") or {},
+                                                      host=ep.host))
+                                   if isinstance(r, dict) else r
+                                   for r in records]
                     rec.ingest(records)
                 att, ep.current = ep.current, None
                 if ok and att is not None and att.idx == idx:
                     results[att.idx] = payload
-                    rec.event("task.done", cell=_task_attr(att.task),
-                              attempt=att.attempts)
+                    done_attrs = {"cell": _task_attr(att.task),
+                                  "attempt": att.attempts}
+                    if ep.host is not None:
+                        done_attrs["host"] = ep.host
+                    rec.event("task.done", **done_attrs)
                     if on_result is not None:
                         on_result(att.task, payload)
             busy = [ep for ep in endpoints if ep.current is not None]

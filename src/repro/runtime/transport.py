@@ -53,7 +53,8 @@ import zlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError, HandshakeError, ResourceExhaustedError
-from ..obs import get_recorder, worker_begin
+from ..obs import (apply_trace_context, get_recorder, trace_context,
+                   worker_begin)
 from . import signals
 from .faults import FaultPlan
 from .resources import apply_worker_rlimit, classify_exitcode, peak_rss_bytes
@@ -278,12 +279,16 @@ def _worker_main(conn) -> None:
             return
         if msg[0] == "stop":
             return
-        _, idx, task, attempt = msg
+        # Legacy 4-tuples carry no trace context; a 5th element is the
+        # supervisor's ambient span ids (see ``trace_context``).
+        _, idx, task, attempt = msg[:4]
+        ctx = msg[4] if len(msg) > 4 else None
         current[0] = (idx, task)
         try:
             if faults is not None:
                 faults.apply_worker(task, attempt, idx)
-            result = runner(task)
+            with apply_trace_context(ctx):
+                result = runner(task)
             ok, payload = True, result
         except BaseException as exc:
             ok, payload = False, _failure_payload(exc)
@@ -453,7 +458,15 @@ class _ForkEndpoint(WorkerEndpoint):
         self.deadline = (time.monotonic() + timeout
                          if timeout is not None else None)
         try:
-            self.conn.send(("run", att.idx, att.task, att.attempts))
+            # The 5th element carries the supervisor's ambient span ids
+            # (None, and hence a legacy-shaped message, when tracing is
+            # off) so worker-side spans parent under the sweep span.
+            ctx = trace_context()
+            if ctx is None:
+                self.conn.send(("run", att.idx, att.task, att.attempts))
+            else:
+                self.conn.send(("run", att.idx, att.task, att.attempts,
+                                ctx))
         except (OSError, ValueError) as exc:
             raise EndpointLostError(f"assign failed: {exc}") from None
 
@@ -609,13 +622,14 @@ class _TcpEndpoint(WorkerEndpoint):
     """One framed connection to a remote worker runner's serving child."""
 
     __slots__ = ("transport", "sock", "_host_state", "pid", "current",
-                 "deadline", "last_progress")
+                 "deadline", "last_progress", "clock_offset")
 
     stall_kind = "host_lost"
     where = "remote"
 
     def __init__(self, transport: "TcpTransport", host_state: _HostState,
-                 sock: socket.socket, welcome: dict):
+                 sock: socket.socket, welcome: dict,
+                 clock_offset: float = 0.0):
         self.transport = transport
         self._host_state = host_state
         self.sock = sock
@@ -623,6 +637,10 @@ class _TcpEndpoint(WorkerEndpoint):
         self.current = None
         self.deadline: Optional[float] = None
         self.last_progress: Optional[int] = None
+        #: Estimated remote-minus-local wall-clock skew (seconds), from
+        #: the handshake round trip; subtracted from reply record
+        #: timestamps on ingest so remote spans line up with local ones.
+        self.clock_offset = clock_offset
 
     @property
     def host(self) -> str:  # type: ignore[override]
@@ -634,10 +652,14 @@ class _TcpEndpoint(WorkerEndpoint):
         self.last_progress = None
         self.deadline = (time.monotonic() + timeout
                          if timeout is not None else None)
-        send_frame(self.sock, {"t": "run", "idx": att.idx,
-                               "task": _encode_task(att.task),
-                               "attempt": att.attempts,
-                               "meta": self.transport.task_meta(att.task)})
+        frame = {"t": "run", "idx": att.idx,
+                 "task": _encode_task(att.task),
+                 "attempt": att.attempts,
+                 "meta": self.transport.task_meta(att.task)}
+        ctx = trace_context()
+        if ctx is not None:
+            frame["ctx"] = ctx
+        send_frame(self.sock, frame)
 
     def stop(self, *, kill: bool = False) -> None:
         self._host_state.connected = False
@@ -682,7 +704,15 @@ class _TcpEndpoint(WorkerEndpoint):
                         garbled=True) from None
             elif not isinstance(payload, dict):
                 payload = {"error": str(payload), "kind": "error"}
-            return (msg.get("idx"), ok, payload, msg.get("records"))
+            records = msg.get("records")
+            if records and self.clock_offset:
+                # Normalize remote wall clocks onto the supervisor's at
+                # the ingest boundary, so both the live drain and the
+                # interrupted-teardown drain see corrected times.
+                for record in records:
+                    if isinstance(record, dict) and "t" in record:
+                        record["t"] = record["t"] - self.clock_offset
+            return (msg.get("idx"), ok, payload, records)
         raise EndpointLostError(f"unexpected frame type {t!r} from "
                                 f"{self.host}", garbled=True)
 
@@ -762,8 +792,10 @@ class TcpTransport(Transport):
             hb = (self._config.heartbeat_interval
                   if self._config is not None else None)
             hello["heartbeat"] = hb
+            hello_sent = time.time()
             send_frame(sock, hello)
             msg = recv_frame(sock)
+            welcome_recv = time.time()
         except EndpointLostError as exc:
             sock.close()
             raise OSError(f"handshake with {hs.label} failed: {exc}") \
@@ -783,12 +815,20 @@ class TcpTransport(Transport):
                           f"{msg.get('t')!r} instead of welcome")
         sock.settimeout(FRAME_RECV_TIMEOUT)
         hs.connected = True
+        # NTP-style skew estimate: the welcome's remote clock sample is
+        # assumed taken at the round trip's midpoint.  Older runners
+        # send no "now" — skew stays 0 and ingest is a no-op.
+        clock_offset = 0.0
+        if isinstance(msg.get("now"), (int, float)):
+            clock_offset = msg["now"] - (hello_sent + welcome_recv) / 2.0
         get_recorder().event("host.connected", host=hs.label,
                              worker_pid=msg.get("pid"),
-                             release=msg.get("release"))
-        logger.info("connected to remote worker %s (pid %s)", hs.label,
-                    msg.get("pid"))
-        return _TcpEndpoint(self, hs, sock, msg)
+                             release=msg.get("release"),
+                             clock_skew_s=round(clock_offset, 6))
+        logger.info("connected to remote worker %s (pid %s, "
+                    "clock skew %+.3fs)", hs.label, msg.get("pid"),
+                    clock_offset)
+        return _TcpEndpoint(self, hs, sock, msg, clock_offset)
 
     def _note_failure(self, hs: _HostState, why: str) -> None:
         hs.connected = False

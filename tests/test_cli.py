@@ -40,7 +40,8 @@ class TestParser:
         assert set(subparsers.choices) == {
             "classify", "compare", "sweep", "simulate", "table1",
             "table2", "fig5", "fig6", "validate", "generate",
-            "attribute", "traffic", "prefetch", "report"}
+            "attribute", "traffic", "prefetch", "report",
+            "trace", "diff", "history"}
 
 
 class TestCommands:

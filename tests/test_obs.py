@@ -184,8 +184,8 @@ class TestSchema:
     def test_every_emitted_kind_validates(self):
         """One record per enumerated span/metric/event name, plus a log."""
         rec = Recorder.buffering()
-        for name in ("trace.generate", "cache.lookup", "cell.run",
-                     "shard.run", "merge", "checkpoint.write"):
+        for name in ("sweep.run", "trace.generate", "cache.lookup",
+                     "cell.run", "shard.run", "merge", "checkpoint.write"):
             rec.span_complete(name, 0.5, cell=["classify", 32, "dubois"])
         for name, unit in (("cache.hit", None), ("cache.miss", None),
                            ("cell.rows", None), ("cell.events_per_sec", None),
@@ -200,7 +200,7 @@ class TestSchema:
                       else "info")
         rec.log("info", "repro.analysis.engine", "hello")
         records = rec.drain()
-        assert len(records) == 23
+        assert len(records) == 24
         for record in records:
             validate_record(record)
 
